@@ -1,0 +1,181 @@
+// Benchmarks regenerating the evaluation suite: one benchmark per
+// experiment table (E1–E12, see DESIGN.md §5 and EXPERIMENTS.md), plus
+// micro-benchmarks of the core algorithmic kernels. Run with
+//
+//	go test -bench=. -benchmem
+package netplace
+
+import (
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/exper"
+	"netplace/internal/facility"
+	"netplace/internal/gen"
+	"netplace/internal/tree"
+	"netplace/internal/workload"
+)
+
+var benchSink float64 // defeats dead-code elimination
+
+func benchTable(b *testing.B, fn func(exper.Config) exper.Table) {
+	b.Helper()
+	cfg := exper.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := fn(cfg)
+		benchSink += float64(len(t.Rows))
+	}
+}
+
+// One benchmark per experiment table.
+
+func BenchmarkE1ApproxRatio(b *testing.B)    { benchTable(b, exper.E1ApproxRatio) }
+func BenchmarkE2TreeOptimality(b *testing.B) { benchTable(b, exper.E2TreeOptimality) }
+func BenchmarkE2TreeScaling(b *testing.B)    { benchTable(b, exper.E2TreeScaling) }
+func BenchmarkE3WriteSweep(b *testing.B)     { benchTable(b, exper.E3WriteSweep) }
+func BenchmarkE4StorageSweep(b *testing.B)   { benchTable(b, exper.E4StorageSweep) }
+func BenchmarkE5Baselines(b *testing.B)      { benchTable(b, exper.E5Baselines) }
+func BenchmarkE6LoadModel(b *testing.B)      { benchTable(b, exper.E6LoadModel) }
+func BenchmarkE7MSTvsSteiner(b *testing.B)   { benchTable(b, exper.E7MSTvsSteiner) }
+func BenchmarkE8Restricted(b *testing.B)     { benchTable(b, exper.E8RestrictedGap) }
+func BenchmarkE9Scale(b *testing.B)          { benchTable(b, exper.E9Scale) }
+func BenchmarkE10Phases(b *testing.B)        { benchTable(b, exper.E10Phases) }
+func BenchmarkE11FLChoice(b *testing.B)      { benchTable(b, exper.E11FLChoice) }
+func BenchmarkE12Netsim(b *testing.B)        { benchTable(b, exper.E12Netsim) }
+func BenchmarkE13Online(b *testing.B)        { benchTable(b, exper.E13Online) }
+func BenchmarkE14Congestion(b *testing.B)    { benchTable(b, exper.E14Congestion) }
+func BenchmarkE15Capacity(b *testing.B)      { benchTable(b, exper.E15Capacity) }
+func BenchmarkE16Sizes(b *testing.B)         { benchTable(b, exper.E16Sizes) }
+func BenchmarkE17Latency(b *testing.B)       { benchTable(b, exper.E17Latency) }
+
+// Micro-benchmarks of the algorithmic kernels.
+
+func benchInstance(n, objects int, writeFrac float64) *core.Instance {
+	rng := rand.New(rand.NewSource(17))
+	g, err := gen.Build("clustered", n, rng)
+	if err != nil {
+		panic(err)
+	}
+	nn := g.N()
+	storage := make([]float64, nn)
+	for v := range storage {
+		storage[v] = 2 + rng.Float64()*6
+	}
+	objs := workload.Generate(nn, workload.Spec{Objects: objects, MeanRate: 4, WriteFraction: writeFrac, ZipfS: 0.8}, rng)
+	return core.MustInstance(g, storage, objs)
+}
+
+func BenchmarkApproximateN100(b *testing.B) {
+	in := benchInstance(100, 1, 0.3)
+	in.Dist() // exclude APSP warm-up from the measured loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Approximate(in, core.Options{FL: facility.MettuPlaxton})
+		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+func BenchmarkApproximateLocalSearchN60(b *testing.B) {
+	in := benchInstance(60, 1, 0.3)
+	in.Dist()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Approximate(in, core.Options{FL: facility.LocalSearch})
+		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+func benchTreeSolve(b *testing.B, build func(n int) int, n int) {
+	b.Helper()
+	_ = build
+	rng := rand.New(rand.NewSource(23))
+	g := gen.RandomTree(n, rng, gen.UniformWeights(rng, 1, 5))
+	storage := make([]float64, n)
+	reads := make([]int64, n)
+	writes := make([]int64, n)
+	for v := 0; v < n; v++ {
+		storage[v] = 1 + rng.Float64()*9
+		reads[v] = rng.Int63n(10)
+		writes[v] = rng.Int63n(3)
+	}
+	tr := tree.Build(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost := tr.Solve(storage, reads, writes)
+		benchSink += cost
+	}
+}
+
+func BenchmarkTreeSolveN100(b *testing.B)  { benchTreeSolve(b, nil, 100) }
+func BenchmarkTreeSolveN1000(b *testing.B) { benchTreeSolve(b, nil, 1000) }
+
+func BenchmarkTreeSolvePathN500(b *testing.B) {
+	n := 500
+	g := gen.Path(n, gen.UnitWeights)
+	rng := rand.New(rand.NewSource(5))
+	storage := make([]float64, n)
+	reads := make([]int64, n)
+	writes := make([]int64, n)
+	for v := 0; v < n; v++ {
+		storage[v] = 1 + rng.Float64()*9
+		reads[v] = rng.Int63n(10)
+		writes[v] = rng.Int63n(3)
+	}
+	tr := tree.Build(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost := tr.Solve(storage, reads, writes)
+		benchSink += cost
+	}
+}
+
+func BenchmarkDijkstraN400(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := gen.Build("geometric", 400, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := g.Dijkstra(i % g.N())
+		benchSink += d[g.N()-1]
+	}
+}
+
+func BenchmarkFacilityLocalSearchN40(b *testing.B)  { benchFacility(b, facility.LocalSearch, 40) }
+func BenchmarkFacilityJainVaziraniN40(b *testing.B) { benchFacility(b, facility.JainVazirani, 40) }
+func BenchmarkFacilityMettuPlaxtonN40(b *testing.B) { benchFacility(b, facility.MettuPlaxton, 40) }
+
+func benchFacility(b *testing.B, solve facility.Solver, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g, err := gen.Build("er", n, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &facility.Instance{Open: make([]float64, g.N()), Demand: make([]int64, g.N()), Dist: g.AllPairs()}
+	for v := 0; v < g.N(); v++ {
+		in.Open[v] = 2 + rng.Float64()*20
+		in.Demand[v] = rng.Int63n(8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := solve(in)
+		benchSink += float64(len(s))
+	}
+}
+
+func BenchmarkSimulateClusteredN48(b *testing.B) {
+	in := benchInstance(48, 2, 0.3)
+	p := core.Approximate(in, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Simulate(in, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += st.TransmissionCost
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the full evaluation suite E1–E12 (see
+// DESIGN.md Section 5 and EXPERIMENTS.md) and prints every table to stdout.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netplace/internal/exper"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "smaller instance counts (benchmark-scale)")
+		only   = flag.String("only", "", "run a single experiment by id prefix, e.g. E7 or E2")
+		format = flag.String("format", "text", "output format: text|markdown|csv")
+	)
+	flag.Parse()
+	cfg := exper.Config{Quick: *quick}
+	if *format == "text" {
+		fmt.Printf("netplace evaluation suite (quick=%v)\n", *quick)
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println()
+	}
+	for _, tb := range exper.All(cfg) {
+		if *only != "" && !strings.HasPrefix(tb.ID, *only) {
+			continue
+		}
+		var err error
+		switch *format {
+		case "text":
+			tb.Fprint(os.Stdout)
+		case "markdown":
+			err = tb.Markdown(os.Stdout)
+		case "csv":
+			err = tb.CSV(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command gennet generates static data management instances: a network
+// topology with transmission and storage fees plus a request workload,
+// written as JSON for cmd/placer.
+//
+// Usage:
+//
+//	gennet -topology clustered -nodes 60 -objects 8 -write-frac 0.3 \
+//	       -zipf 0.8 -storage 4 -seed 1 -o instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+func main() {
+	var (
+		topology  = flag.String("topology", "clustered", "topology: path|star|binary-tree|random-tree|ring|grid|hypercube|complete|er|geometric|clustered")
+		nodes     = flag.Int("nodes", 40, "approximate node count")
+		objects   = flag.Int("objects", 4, "number of shared objects")
+		meanRate  = flag.Float64("rate", 5, "mean requests per node-object pair")
+		writeFrac = flag.Float64("write-frac", 0.25, "expected write share of requests")
+		zipf      = flag.Float64("zipf", 0.8, "zipf exponent for object popularity (0 = uniform)")
+		hotspot   = flag.Float64("hotspot", 0, "fraction of volume issued by -hotspot-nodes nodes")
+		hotNodes  = flag.Int("hotspot-nodes", 0, "number of hotspot nodes")
+		storage   = flag.Float64("storage", 4, "mean storage fee per node")
+		sizes     = flag.Float64("size-spread", 0, "log-uniform object size spread (>1 enables the non-uniform model)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := gen.Build(*topology, *nodes, rng)
+	if err != nil {
+		fatal(err)
+	}
+	n := g.N()
+	fees := make([]float64, n)
+	for v := range fees {
+		fees[v] = *storage * (0.5 + rng.Float64())
+	}
+	objs := workload.Generate(n, workload.Spec{
+		Objects:       *objects,
+		MeanRate:      *meanRate,
+		WriteFraction: *writeFrac,
+		ZipfS:         *zipf,
+		Hotspot:       *hotspot,
+		HotspotNodes:  *hotNodes,
+		SizeSpread:    *sizes,
+	}, rng)
+	in, err := core.NewInstance(g, fees, objs)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := encode.WriteInstance(w, in); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gennet: %s with %d nodes, %d edges, %d objects\n",
+		*topology, n, g.M(), len(objs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gennet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Command placer solves a static data management instance and reports the
+// placement and its cost breakdown.
+//
+// Usage:
+//
+//	placer -in instance.json [-algo approx|tree|single|full|greedy|fl-only]
+//	       [-fl local-search|jain-vazirani|mettu-plaxton] [-o placement.json]
+//	       [-simulate]
+//
+// algo=tree runs the exact Section 3 dynamic program and requires a tree
+// network; all other algorithms work on arbitrary connected networks.
+// -simulate replays the workload through the message-level simulator and
+// prints the metered bill next to the analytic cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/facility"
+	"netplace/internal/netsim"
+	"netplace/internal/solver"
+	"netplace/internal/tree"
+	"netplace/internal/viz"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "instance JSON (required)")
+		algo     = flag.String("algo", "approx", "approx|tree|optimal|single|full|greedy|fl-only")
+		flName   = flag.String("fl", "local-search", "phase-1 facility location algorithm")
+		outPath  = flag.String("o", "", "write placement JSON here")
+		simulate = flag.Bool("simulate", false, "replay the workload in the message simulator")
+		dotPath  = flag.String("dot", "", "write a Graphviz rendering (copies highlighted) here")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	in, err := encode.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	flSolvers := map[string]facility.Solver{
+		"local-search":  facility.LocalSearch,
+		"jain-vazirani": facility.JainVazirani,
+		"mettu-plaxton": facility.MettuPlaxton,
+		"greedy":        facility.Greedy,
+	}
+	fl, ok := flSolvers[*flName]
+	if !ok {
+		fatal(fmt.Errorf("unknown facility location algorithm %q", *flName))
+	}
+
+	var p core.Placement
+	switch *algo {
+	case "approx":
+		p = core.Approximate(in, core.Options{FL: fl})
+	case "tree":
+		if !in.G.IsTree() {
+			fatal(fmt.Errorf("algo=tree requires a tree network (got %d nodes, %d edges)", in.G.N(), in.G.M()))
+		}
+		t := tree.Build(in.G, 0)
+		p = core.Placement{Copies: make([][]int, len(in.Objects))}
+		for i := range in.Objects {
+			obj := &in.Objects[i]
+			copies, cost := t.Solve(in.Storage, obj.Reads, obj.Writes)
+			p.Copies[i] = copies
+			fmt.Printf("object %-12s optimal tree cost %.3f\n", name(in, i), cost)
+		}
+	case "optimal":
+		if in.G.N() > 18 {
+			fatal(fmt.Errorf("algo=optimal enumerates all copy sets; limited to 18 nodes (got %d)", in.G.N()))
+		}
+		sols := solver.OptimalRestricted(in)
+		p = core.Placement{Copies: make([][]int, len(in.Objects))}
+		for i, s := range sols {
+			p.Copies[i] = s.Copies
+		}
+	case "single":
+		p = core.SingleBest(in)
+	case "full":
+		p = core.FullReplication(in)
+	case "greedy":
+		p = core.GreedyAdd(in)
+	case "fl-only":
+		p = core.FacilityOnly(in, fl)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	for i := range in.Objects {
+		b := in.ObjectCost(&in.Objects[i], p.Copies[i])
+		fmt.Printf("object %-12s copies %-3d storage %10.3f read %10.3f update %10.3f total %10.3f\n",
+			name(in, i), len(p.Copies[i]), b.Storage, b.Read, b.Update, b.Total())
+	}
+	total := in.Cost(p)
+	fmt.Printf("TOTAL  %-12s copies %-3d storage %10.3f read %10.3f update %10.3f total %10.3f\n",
+		"", countCopies(p), total.Storage, total.Read, total.Update, total.Total())
+
+	if *simulate {
+		sim, err := netsim.New(in, p)
+		if err != nil {
+			fatal(err)
+		}
+		st := sim.Run()
+		fmt.Printf("simulated: %d requests, %d messages, transmission %.3f, storage %.3f, total %.3f (analytic %.3f)\n",
+			st.Requests, st.Messages, st.TransmissionCost, st.StorageCost, st.Total(), total.Total())
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := encode.WritePlacement(f, in, p); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// highlight the union of all objects' copies
+		seen := map[int]bool{}
+		var copies []int
+		for _, set := range p.Copies {
+			for _, v := range set {
+				if !seen[v] {
+					seen[v] = true
+					copies = append(copies, v)
+				}
+			}
+		}
+		if err := viz.WriteDot(f, in.G, viz.DotOptions{Copies: copies, Name: *algo}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func name(in *core.Instance, i int) string {
+	if in.Objects[i].Name != "" {
+		return in.Objects[i].Name
+	}
+	return fmt.Sprintf("object-%d", i)
+}
+
+func countCopies(p core.Placement) int {
+	n := 0
+	for _, c := range p.Copies {
+		n += len(c)
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "placer:", err)
+	os.Exit(1)
+}

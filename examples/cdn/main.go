@@ -1,0 +1,79 @@
+// CDN example — the scenario from the paper's introduction: a content
+// provider serves WWW pages over a commercial network, paying per
+// transmitted byte on links and per stored byte in memory modules.
+//
+// The network is a two-level Internet-like clustered topology (cheap access
+// links, expensive backbone); page popularity is Zipf distributed; a small
+// fraction of requests are updates (page edits). The example sweeps the
+// storage fee — the price of renting memory — and shows how the optimal
+// degree of replication reacts, comparing the paper's algorithm with full
+// replication ("mirror everywhere") and a single central server.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netplace"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.Clustered(gen.ClusteredParams{
+		Clusters:    8,
+		ClusterSize: 6,
+		IntraWeight: 0.2, // cheap access links
+		InterWeight: 4.0, // expensive backbone
+		Backbone:    0.3,
+	}, rng)
+	n := g.N()
+	fmt.Printf("content network: %d nodes (%d gateways), %d links\n\n", n, 8, g.M())
+
+	objs := workload.Generate(n, workload.Spec{
+		Objects:       12,
+		MeanRate:      6,
+		WriteFraction: 0.08, // occasional page updates
+		ZipfS:         1.0,  // classic WWW popularity skew
+	}, rng)
+
+	fmt.Println("storage-fee sweep (per stored page):")
+	fmt.Printf("%10s %14s %14s %14s %14s\n", "fee", "approx copies", "approx cost", "mirror-all", "central")
+	for _, fee := range []float64{0.1, 1, 4, 16, 64} {
+		storage := make([]float64, n)
+		for v := range storage {
+			storage[v] = fee
+		}
+		in, err := netplace.NewInstance(g.Clone(), storage, objs)
+		if err != nil {
+			panic(err)
+		}
+		p := netplace.Solve(in)
+		copies := 0
+		for i := range p.Copies {
+			copies += len(p.Copies[i])
+		}
+		approx := netplace.Cost(in, p).Total()
+		mirror := netplace.Cost(in, netplace.FullReplication(in)).Total()
+		central := netplace.Cost(in, netplace.SingleBest(in)).Total()
+		fmt.Printf("%10.1f %14.1f %14.1f %14.1f %14.1f\n",
+			fee, float64(copies)/float64(len(objs)), approx, mirror, central)
+	}
+
+	fmt.Println("\nper-object replication at fee=4 (popularity rank -> copies):")
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 4
+	}
+	in, err := netplace.NewInstance(g.Clone(), storage, objs)
+	if err != nil {
+		panic(err)
+	}
+	p := netplace.Solve(in)
+	for i := range objs {
+		vol := objs[i].TotalReads() + objs[i].TotalWrites()
+		fmt.Printf("  %-8s volume %5d -> %d copies at %v\n",
+			objs[i].Name, vol, len(p.Copies[i]), p.Copies[i])
+	}
+}

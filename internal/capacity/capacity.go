@@ -1,0 +1,331 @@
+// Package capacity extends the static data management problem with memory
+// capacity constraints — the setting of Baev and Rajaraman [3] in the
+// paper's related work: each node can hold at most Cap[v] object copies,
+// objects are read-only, and every object still needs at least one copy
+// somewhere.
+//
+// Baev–Rajaraman round an LP relaxation; in keeping with this repository's
+// combinatorial theme the solver here is a joint local search over all
+// objects (add / drop / move / swap moves that respect capacities), with an
+// exact brute-force reference for small instances. The uncapacitated
+// optimum is a lower bound the tests exploit: with loose capacities the
+// local search must land within its usual factor of it, and with tight
+// capacities constraint satisfaction is asserted exactly.
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"netplace/internal/core"
+)
+
+// Problem is a capacitated read-only data placement instance.
+type Problem struct {
+	In  *core.Instance
+	Cap []int // copies node v may hold across all objects
+}
+
+// Validate checks shape and feasibility (total capacity >= one copy per
+// object, per-node caps non-negative, read-only workload).
+func (p *Problem) Validate() error {
+	if len(p.Cap) != p.In.N() {
+		return fmt.Errorf("capacity: %d caps for %d nodes", len(p.Cap), p.In.N())
+	}
+	total := 0
+	for v, c := range p.Cap {
+		if c < 0 {
+			return fmt.Errorf("capacity: negative cap at node %d", v)
+		}
+		total += c
+	}
+	if total < len(p.In.Objects) {
+		return fmt.Errorf("capacity: total capacity %d below object count %d", total, len(p.In.Objects))
+	}
+	for i := range p.In.Objects {
+		if p.In.Objects[i].TotalWrites() != 0 {
+			return fmt.Errorf("capacity: object %d has writes; the capacitated model is read-only", i)
+		}
+	}
+	return nil
+}
+
+// Feasible reports whether a placement satisfies the capacities.
+func (p *Problem) Feasible(pl core.Placement) bool {
+	used := make([]int, p.In.N())
+	for _, set := range pl.Copies {
+		for _, v := range set {
+			used[v]++
+			if used[v] > p.Cap[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Cost is the read-only objective: storage plus nearest-copy reads.
+func (p *Problem) Cost(pl core.Placement) float64 {
+	return p.In.Cost(pl).Total()
+}
+
+// Solve runs the joint local search. It returns a feasible placement or an
+// error when the instance itself is infeasible.
+func Solve(p *Problem) (core.Placement, error) {
+	if err := p.Validate(); err != nil {
+		return core.Placement{}, err
+	}
+	in := p.In
+	n := in.N()
+	nobj := len(in.Objects)
+	dist := in.Dist()
+
+	used := make([]int, n)
+	pl := core.Placement{Copies: make([][]int, nobj)}
+
+	// Greedy initialisation: objects in descending demand pick their best
+	// node with free capacity (heaviest objects choose first).
+	order := make([]int, nobj)
+	for i := range order {
+		order[i] = i
+	}
+	demand := make([]int64, nobj)
+	for i := range in.Objects {
+		demand[i] = in.Objects[i].TotalReads()
+	}
+	for a := 0; a < nobj; a++ {
+		for b := a + 1; b < nobj; b++ {
+			if demand[order[b]] > demand[order[a]] {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	for _, oi := range order {
+		obj := &in.Objects[oi]
+		best, bestCost := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if used[v] >= p.Cap[v] {
+				continue
+			}
+			c := in.Storage[v] * obj.Scale()
+			for u := 0; u < n; u++ {
+				c += float64(obj.Reads[u]) * dist[u][v] * obj.Scale()
+			}
+			if c < bestCost {
+				best, bestCost = v, c
+			}
+		}
+		if best < 0 {
+			return core.Placement{}, fmt.Errorf("capacity: no free node for object %d", oi)
+		}
+		pl.Copies[oi] = []int{best}
+		used[best]++
+	}
+
+	objCost := func(oi int, set []int) float64 {
+		return in.ObjectCost(&in.Objects[oi], set).Total()
+	}
+	cur := make([]float64, nobj)
+	for oi := range cur {
+		cur[oi] = objCost(oi, pl.Copies[oi])
+	}
+
+	// Local search: add, drop, move. A move is accepted if it lowers the
+	// total cost; capacities stay respected throughout.
+	const maxRounds = 200
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for oi := 0; oi < nobj; oi++ {
+			set := pl.Copies[oi]
+			has := make(map[int]bool, len(set))
+			for _, v := range set {
+				has[v] = true
+			}
+			// add
+			for v := 0; v < n; v++ {
+				if has[v] || used[v] >= p.Cap[v] {
+					continue
+				}
+				cand := append(append([]int(nil), set...), v)
+				if c := objCost(oi, cand); c < cur[oi]-1e-12 {
+					pl.Copies[oi] = sortedInts(cand)
+					used[v]++
+					cur[oi] = c
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break
+			}
+			// drop
+			if len(set) > 1 {
+				for k, v := range set {
+					cand := append(append([]int(nil), set[:k]...), set[k+1:]...)
+					if c := objCost(oi, cand); c < cur[oi]-1e-12 {
+						pl.Copies[oi] = cand
+						used[v]--
+						cur[oi] = c
+						improved = true
+						break
+					}
+				}
+			}
+			if improved {
+				break
+			}
+			// move one copy elsewhere
+			for k, v := range set {
+				for u := 0; u < n; u++ {
+					if has[u] || used[u] >= p.Cap[u] {
+						continue
+					}
+					cand := append(append([]int(nil), set[:k]...), set[k+1:]...)
+					cand = append(cand, u)
+					if c := objCost(oi, cand); c < cur[oi]-1e-12 {
+						pl.Copies[oi] = sortedInts(cand)
+						used[v]--
+						used[u]++
+						cur[oi] = c
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Cross-object exchange: objects A and B swap one copy location
+		// each (A: v -> u, B: u -> v). Node usage is unchanged, so the move
+		// is always feasible; it escapes contention deadlocks that
+		// per-object moves cannot.
+		for a := 0; a < nobj && !improved; a++ {
+			for b := a + 1; b < nobj && !improved; b++ {
+				for ka, v := range pl.Copies[a] {
+					for kb, u := range pl.Copies[b] {
+						if v == u || contains(pl.Copies[a], u) || contains(pl.Copies[b], v) {
+							continue
+						}
+						candA := replaceAt(pl.Copies[a], ka, u)
+						candB := replaceAt(pl.Copies[b], kb, v)
+						ca := objCost(a, candA)
+						cb := objCost(b, candB)
+						if ca+cb < cur[a]+cur[b]-1e-12 {
+							pl.Copies[a] = sortedInts(candA)
+							pl.Copies[b] = sortedInts(candB)
+							cur[a], cur[b] = ca, cb
+							improved = true
+							break
+						}
+					}
+					if improved {
+						break
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return pl, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func replaceAt(s []int, k, v int) []int {
+	out := append([]int(nil), s...)
+	out[k] = v
+	return out
+}
+
+// BruteForce enumerates all feasible placements for tiny instances (the
+// per-object copy sets jointly respecting capacities) and returns an
+// optimal one. Cost grows as (2^n)^|X|; use only for n*|X| <= ~16.
+func BruteForce(p *Problem) (core.Placement, float64, error) {
+	if err := p.Validate(); err != nil {
+		return core.Placement{}, 0, err
+	}
+	in := p.In
+	n := in.N()
+	nobj := len(in.Objects)
+	if n*nobj > 24 {
+		return core.Placement{}, 0, fmt.Errorf("capacity: brute force instance too large")
+	}
+	best := math.Inf(1)
+	var bestPl core.Placement
+	masks := make([]int, nobj)
+	used := make([]int, n)
+
+	var rec func(oi int, cost float64)
+	rec = func(oi int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if oi == nobj {
+			best = cost
+			bestPl = core.Placement{Copies: make([][]int, nobj)}
+			for i, m := range masks {
+				for v := 0; v < n; v++ {
+					if m&(1<<v) != 0 {
+						bestPl.Copies[i] = append(bestPl.Copies[i], v)
+					}
+				}
+			}
+			return
+		}
+		for m := 1; m < 1<<n; m++ {
+			ok := true
+			for v := 0; v < n && ok; v++ {
+				if m&(1<<v) != 0 && used[v]+1 > p.Cap[v] {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			var set []int
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					set = append(set, v)
+					used[v]++
+				}
+			}
+			masks[oi] = m
+			rec(oi+1, cost+in.ObjectCost(&in.Objects[oi], set).Total())
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					used[v]--
+				}
+			}
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(best, 1) {
+		return core.Placement{}, 0, fmt.Errorf("capacity: no feasible placement")
+	}
+	return bestPl, best, nil
+}
+
+func sortedInts(s []int) []int {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package capacity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+func problem(seed int64, n, objects int, capPer int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.ErdosRenyi(n, 0.4, rng, gen.UniformWeights(rng, 1, 6))
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 1 + rng.Float64()*6
+	}
+	objs := workload.Generate(n, workload.Spec{Objects: objects, MeanRate: 4, ZipfS: 0.6}, rng)
+	in := core.MustInstance(g, storage, objs)
+	cap := make([]int, n)
+	for v := range cap {
+		cap[v] = capPer
+	}
+	return &Problem{In: in, Cap: cap}
+}
+
+func TestSolveRespectsCapacities(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := problem(seed, 8, 5, 2)
+		pl, err := Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := pl.Validate(p.In); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !p.Feasible(pl) {
+			t.Fatalf("seed %d: capacity violated", seed)
+		}
+	}
+}
+
+func TestSolveNearBruteForce(t *testing.T) {
+	worst := 1.0
+	for seed := int64(0); seed < 15; seed++ {
+		p := problem(seed, 5, 3, 2)
+		pl, err := Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := p.Cost(pl)
+		_, want, err := BruteForce(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got < want-1e-9 {
+			t.Fatalf("seed %d: local search %v beats brute force %v", seed, got, want)
+		}
+		if want > 0 {
+			if r := got / want; r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > 1.5 {
+		t.Fatalf("local search ratio %v too far from optimum", worst)
+	}
+	t.Logf("worst local-search/optimum ratio: %.4f", worst)
+}
+
+func TestLooseCapacityMatchesUncapacitated(t *testing.T) {
+	// With capacity >= |X| everywhere the constraint is void: the solution
+	// cost must be close to the unconstrained greedy/approx cost.
+	for seed := int64(0); seed < 10; seed++ {
+		p := problem(seed, 7, 3, 3)
+		pl, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Cost(pl)
+		free := core.GreedyAdd(p.In)
+		base := p.In.Cost(free).Total()
+		if got > 1.5*base+1e-9 {
+			t.Fatalf("seed %d: capacitated %v far above unconstrained %v", seed, got, base)
+		}
+	}
+}
+
+func TestTightCapacityForcesSpread(t *testing.T) {
+	// Capacity 1 per node, as many heavy objects as popular nodes: objects
+	// cannot all sit on the cheapest node.
+	p := problem(3, 6, 4, 1)
+	pl, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]int{}
+	for _, set := range pl.Copies {
+		for _, v := range set {
+			used[v]++
+			if used[v] > 1 {
+				t.Fatalf("node %d reused beyond its capacity", v)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := problem(1, 5, 3, 1)
+	p.Cap = []int{1, 1} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Fatal("short cap vector accepted")
+	}
+	p = problem(1, 5, 3, 1)
+	p.Cap[0] = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+	p = problem(1, 5, 6, 1)
+	for v := range p.Cap {
+		p.Cap[v] = 0
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("infeasible total capacity accepted")
+	}
+	// writes are rejected
+	p = problem(1, 5, 1, 2)
+	p.In.Objects[0].Writes[2] = 3
+	if err := p.Validate(); err == nil {
+		t.Fatal("writes accepted in read-only model")
+	}
+}
+
+func TestCostAgainstManual(t *testing.T) {
+	p := problem(2, 6, 2, 2)
+	pl, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := 0.0
+	for i := range p.In.Objects {
+		manual += p.In.ObjectCost(&p.In.Objects[i], pl.Copies[i]).Total()
+	}
+	if math.Abs(manual-p.Cost(pl)) > 1e-9 {
+		t.Fatal("cost decomposition mismatch")
+	}
+}

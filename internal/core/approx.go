@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netplace/internal/facility"
+	"netplace/internal/metric"
+)
+
+// Options configures the Section 2 approximation algorithm. The zero value
+// selects the paper's parameters.
+type Options struct {
+	// FL is the facility-location solver used in phase 1. Nil selects
+	// local search (the combinatorial 5-approximation of Korupolu et al.).
+	FL facility.Solver
+	// Phase2Factor is the storage-radius multiple beyond which a node
+	// demands its own copy; the paper uses 5. Zero selects 5.
+	Phase2Factor float64
+	// Phase3Factor is the write-radius multiple within which a scanned copy
+	// deletes another; the paper uses 4. Zero selects 4.
+	Phase3Factor float64
+	// SkipPhase2 / SkipPhase3 disable the respective phases (ablations E10).
+	SkipPhase2 bool
+	SkipPhase3 bool
+	// Workers bounds the goroutines placing objects concurrently (the
+	// paper's algorithm treats objects independently, so object-level
+	// parallelism is exact). 0 or 1 runs sequentially; negative selects
+	// GOMAXPROCS. The result is bit-identical to the sequential run.
+	Workers int
+}
+
+func (o Options) fl() facility.Solver {
+	if o.FL == nil {
+		return facility.LocalSearch
+	}
+	return o.FL
+}
+
+func (o Options) p2() float64 {
+	if o.Phase2Factor == 0 {
+		return 5
+	}
+	return o.Phase2Factor
+}
+
+func (o Options) p3() float64 {
+	if o.Phase3Factor == 0 {
+		return 4
+	}
+	return o.Phase3Factor
+}
+
+// Approximate runs the paper's three-phase constant-factor approximation
+// algorithm (Section 2.2) independently for every object:
+//
+//  1. Solve the related facility location problem (writes become reads).
+//  2. While some node v has no copy within Phase2Factor * rs(v), place a
+//     copy on v.
+//  3. Scan copy holders in ascending write radius; the scanned copy deletes
+//     any other copy u with ct(u, v) <= Phase3Factor * rw(u).
+//
+// The result is a proper placement with k1 = 29, k2 = 2 (Lemma 8) whose
+// storage cost is near-optimal (Lemma 9), hence a constant-factor
+// approximation of the total cost (Theorem 7).
+func Approximate(in *Instance, opt Options) Placement {
+	p := Placement{Copies: make([][]int, len(in.Objects))}
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in.Objects) {
+		workers = len(in.Objects)
+	}
+	if workers <= 1 {
+		for i := range in.Objects {
+			p.Copies[i] = approximateObject(in, &in.Objects[i], opt)
+		}
+		return p
+	}
+	in.Dist() // materialise the shared metric before fanning out
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(in.Objects) {
+					return
+				}
+				p.Copies[i] = approximateObject(in, &in.Objects[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return p
+}
+
+// approximateObject places a single object.
+func approximateObject(in *Instance, obj *Object, opt Options) []int {
+	n := in.N()
+	dist := in.Dist()
+	req := obj.Requests()
+	total := req.Total()
+	if total == 0 {
+		// Degenerate object nobody accesses: cheapest single copy.
+		best := 0
+		for v := 1; v < n; v++ {
+			if in.Storage[v] < in.Storage[best] {
+				best = v
+			}
+		}
+		return []int{best}
+	}
+
+	// Phase 1: related facility location problem. Writes count as reads;
+	// update costs are ignored.
+	fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Dist: dist}
+	copies := opt.fl()(fl)
+
+	radii := metric.ComputeRadii(in.Space(), req, obj.TotalWrites(), in.Storage)
+
+	has := make([]bool, n)
+	near := make([]float64, n) // distance to nearest copy
+	for v := range near {
+		near[v] = graphInf
+	}
+	addCopy := func(c int) {
+		has[c] = true
+		for v := 0; v < n; v++ {
+			if d := dist[v][c]; d < near[v] {
+				near[v] = d
+			}
+		}
+	}
+	for _, c := range copies {
+		addCopy(c)
+	}
+
+	// Phase 2: add copies where the storage radius demands one.
+	if !opt.SkipPhase2 {
+		k := opt.p2()
+		for {
+			added := false
+			for v := 0; v < n; v++ {
+				if !has[v] && near[v] > k*radii[v].RS {
+					addCopy(v)
+					added = true
+				}
+			}
+			if !added {
+				break
+			}
+		}
+	}
+
+	// Phase 3: delete clustered copies, scanning in ascending write radius.
+	if !opt.SkipPhase3 {
+		k := opt.p3()
+		order := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if has[v] {
+				order = append(order, v)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if radii[order[a]].RW != radii[order[b]].RW {
+				return radii[order[a]].RW < radii[order[b]].RW
+			}
+			return order[a] < order[b]
+		})
+		for _, v := range order {
+			if !has[v] {
+				continue // already deleted by an earlier scan
+			}
+			for _, u := range order {
+				if u == v || !has[u] {
+					continue
+				}
+				if dist[u][v] <= k*radii[u].RW {
+					has[u] = false
+				}
+			}
+		}
+	}
+
+	out := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if has[v] {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		// Cannot happen (phase 3 never deletes the scanned copy), but keep
+		// the placement well-formed under pathological custom factors.
+		out = append(out, copies[0])
+	}
+	return out
+}
+
+// graphInf is +Inf, for nearest-copy scans.
+var graphInf = math.Inf(1)
+
+// ProperReport describes how a placement relates to the proper-placement
+// conditions of Section 2.1 for one object.
+type ProperReport struct {
+	// MaxK1 is the smallest k1 such that every node has a copy within
+	// k1 * max(rw(v), rs(v)). Lemma 8 guarantees k1 <= 29 for the
+	// algorithm's output.
+	MaxK1 float64
+	// MinPairFactor is the largest k such that all copy pairs (u, v) are at
+	// distance >= k * max(rw(u), rw(v)); property 2 requires >= 2*k2 = 4.
+	MinPairFactor float64
+	// Copies is the number of copies.
+	Copies int
+}
+
+// CheckProper measures the proper-placement constants achieved by a copy
+// set for one object, to let tests assert Lemma 8 as an executable
+// invariant.
+func (in *Instance) CheckProper(obj *Object, copies []int) ProperReport {
+	dist := in.Dist()
+	req := obj.Requests()
+	radii := metric.ComputeRadii(in.Space(), req, obj.TotalWrites(), in.Storage)
+	rep := ProperReport{Copies: len(copies), MinPairFactor: graphInf}
+	for v := 0; v < in.N(); v++ {
+		best := graphInf
+		for _, c := range copies {
+			if d := dist[v][c]; d < best {
+				best = d
+			}
+		}
+		m := radii[v].RW
+		if radii[v].RS > m {
+			m = radii[v].RS
+		}
+		if m == 0 {
+			if best > 0 {
+				rep.MaxK1 = graphInf
+			}
+			continue
+		}
+		if f := best / m; f > rep.MaxK1 {
+			rep.MaxK1 = f
+		}
+	}
+	for i, u := range copies {
+		for _, v := range copies[i+1:] {
+			m := radii[u].RW
+			if radii[v].RW > m {
+				m = radii[v].RW
+			}
+			if m == 0 {
+				continue
+			}
+			if f := dist[u][v] / m; f < rep.MinPairFactor {
+				rep.MinPairFactor = f
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+
+	"netplace/internal/graph"
+)
+
+// Breakdown decomposes the total cost of a placement for one object or for a
+// whole instance, following the restricted-placement accounting of
+// Section 2: the write request's message from its home to the nearest copy
+// is booked under Read (the paper folds it into the read cost, "we do not
+// differentiate between read and write requests any more"); Update is the
+// multicast cost W * mst(S).
+type Breakdown struct {
+	Storage float64 // sum of cs over copy nodes
+	Read    float64 // sum over reads and writes of distance to nearest copy
+	Update  float64 // W * weight of the multicast (MST) tree over copies
+}
+
+// Total returns Storage + Read + Update.
+func (b Breakdown) Total() float64 { return b.Storage + b.Read + b.Update }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Storage += o.Storage
+	b.Read += o.Read
+	b.Update += o.Update
+}
+
+// ObjectCost computes the cost breakdown of placing object obj on copy set
+// copies (non-empty) under the restricted model: reads and write-access
+// messages go to the nearest copy; updates propagate along a metric-closure
+// minimum spanning tree over the copies. All three components scale with
+// the object's size (fees are per byte).
+func (in *Instance) ObjectCost(obj *Object, copies []int) Breakdown {
+	dist := in.Dist()
+	var b Breakdown
+	for _, v := range copies {
+		b.Storage += in.Storage[v]
+	}
+	for v := 0; v < in.N(); v++ {
+		f := obj.Reads[v] + obj.Writes[v]
+		if f == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, c := range copies {
+			if d := dist[v][c]; d < best {
+				best = d
+			}
+		}
+		b.Read += float64(f) * best
+	}
+	if w := obj.TotalWrites(); w > 0 && len(copies) > 1 {
+		b.Update = float64(w) * graph.MetricMST(dist, copies)
+	}
+	s := obj.Scale()
+	b.Storage *= s
+	b.Read *= s
+	b.Update *= s
+	return b
+}
+
+// Cost computes the full-instance cost breakdown of a placement.
+func (in *Instance) Cost(p Placement) Breakdown {
+	var b Breakdown
+	for i := range in.Objects {
+		b.Add(in.ObjectCost(&in.Objects[i], p.Copies[i]))
+	}
+	return b
+}
+
+// NearestCopy returns, for every node, the distance to and identity of the
+// nearest copy in the given copy set.
+func (in *Instance) NearestCopy(copies []int) (dist []float64, which []int) {
+	d := in.Dist()
+	n := in.N()
+	dist = make([]float64, n)
+	which = make([]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = math.Inf(1)
+		which[v] = -1
+		for _, c := range copies {
+			if dd := d[v][c]; dd < dist[v] {
+				dist[v] = dd
+				which[v] = c
+			}
+		}
+	}
+	return dist, which
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: the cost-based
+// static data management model (Section 1.1) and the combinatorial
+// constant-factor approximation algorithm for arbitrary networks
+// (Section 2), together with cost accounting, baselines, and the
+// proper-placement invariants of Lemma 8.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"netplace/internal/graph"
+	"netplace/internal/metric"
+)
+
+// Object holds the request frequencies of one shared data object:
+// Reads[v] = fr(v, x), Writes[v] = fw(v, x).
+//
+// Size realises the paper's non-uniform model ("all our results hold also
+// in a non-uniform model"): fees are per byte, so an object of Size s pays
+// s * cs(v) per stored copy and s * ct(e) per traversed edge. Size <= 0 is
+// normalised to 1 by NewInstance. Because Size scales storage and
+// transmission identically, the optimal copy set of an object is invariant
+// under it; only the bill changes (tests assert both facts).
+type Object struct {
+	Name   string
+	Size   float64
+	Reads  []int64
+	Writes []int64
+}
+
+// Scale returns the normalised object size (1 when Size is unset).
+func (o *Object) Scale() float64 {
+	if o.Size <= 0 {
+		return 1
+	}
+	return o.Size
+}
+
+// TotalReads returns sum_v fr(v).
+func (o *Object) TotalReads() int64 {
+	var t int64
+	for _, r := range o.Reads {
+		t += r
+	}
+	return t
+}
+
+// TotalWrites returns W = sum_v fw(v), the paper's total write count.
+func (o *Object) TotalWrites() int64 {
+	var t int64
+	for _, w := range o.Writes {
+		t += w
+	}
+	return t
+}
+
+// Requests returns the request multiset fr + fw used by the radius
+// definitions and by the related facility location problem.
+func (o *Object) Requests() metric.Requests {
+	c := make([]int64, len(o.Reads))
+	for v := range c {
+		c[v] = o.Reads[v] + o.Writes[v]
+	}
+	return metric.Requests{Count: c}
+}
+
+// Instance is a static data management problem: a network with storage fees
+// cs(v) and a set of shared objects with read/write frequencies. The metric
+// ct(v, v') is the shortest-path closure of the network's edge fees, which
+// the paper proves is a metric; it is computed lazily and cached.
+type Instance struct {
+	G       *graph.Graph
+	Storage []float64
+	Objects []Object
+
+	distOnce sync.Once
+	dist     [][]float64
+}
+
+// NewInstance validates and assembles an instance.
+func NewInstance(g *graph.Graph, storage []float64, objects []Object) (*Instance, error) {
+	if len(storage) != g.N() {
+		return nil, fmt.Errorf("core: storage has %d entries for %d nodes", len(storage), g.N())
+	}
+	for _, s := range storage {
+		if s < 0 || math.IsNaN(s) {
+			return nil, fmt.Errorf("core: negative or NaN storage cost %v", s)
+		}
+	}
+	for i := range objects {
+		o := &objects[i]
+		if len(o.Reads) != g.N() || len(o.Writes) != g.N() {
+			return nil, fmt.Errorf("core: object %d frequency vectors must have length %d", i, g.N())
+		}
+		if math.IsNaN(o.Size) || math.IsInf(o.Size, 0) {
+			return nil, fmt.Errorf("core: object %d has invalid size %v", i, o.Size)
+		}
+		if o.Size <= 0 {
+			o.Size = 1
+		}
+		for v := 0; v < g.N(); v++ {
+			if o.Reads[v] < 0 || o.Writes[v] < 0 {
+				return nil, fmt.Errorf("core: object %d has negative frequency at node %d", i, v)
+			}
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("core: network must be connected")
+	}
+	return &Instance{G: g, Storage: storage, Objects: objects}, nil
+}
+
+// MustInstance is NewInstance that panics on error; for tests and examples.
+func MustInstance(g *graph.Graph, storage []float64, objects []Object) *Instance {
+	in, err := NewInstance(g, storage, objects)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// N returns the number of network nodes.
+func (in *Instance) N() int { return in.G.N() }
+
+// Dist returns the dense shortest-path metric, computing it on first use.
+// Safe for concurrent use; the computation itself is parallelised.
+func (in *Instance) Dist() [][]float64 {
+	in.distOnce.Do(func() {
+		in.dist = in.G.AllPairsParallel(0)
+	})
+	return in.dist
+}
+
+// Space returns the metric-space view of the network.
+func (in *Instance) Space() *metric.Space { return metric.New(in.Dist()) }
+
+// Placement assigns every object a non-empty copy set (node ids, sorted).
+type Placement struct {
+	Copies [][]int
+}
+
+// Clone deep-copies a placement.
+func (p Placement) Clone() Placement {
+	c := Placement{Copies: make([][]int, len(p.Copies))}
+	for i, s := range p.Copies {
+		c.Copies[i] = append([]int(nil), s...)
+	}
+	return c
+}
+
+// Validate checks that the placement matches the instance shape: one
+// non-empty copy set of in-range nodes per object.
+func (p Placement) Validate(in *Instance) error {
+	if len(p.Copies) != len(in.Objects) {
+		return fmt.Errorf("core: placement covers %d objects, instance has %d", len(p.Copies), len(in.Objects))
+	}
+	for i, s := range p.Copies {
+		if len(s) == 0 {
+			return fmt.Errorf("core: object %d has no copies", i)
+		}
+		for _, v := range s {
+			if v < 0 || v >= in.N() {
+				return fmt.Errorf("core: object %d placed on invalid node %d", i, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netplace/internal/gen"
+)
+
+// Object-level parallelism must be exact: same placements as sequential.
+func TestApproximateParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoreInstance(rng, 14, 6, 0.4)
+		seq := Approximate(in, Options{})
+		for _, workers := range []int{2, 4, -1} {
+			par := Approximate(in, Options{Workers: workers})
+			if !reflect.DeepEqual(seq.Copies, par.Copies) {
+				t.Fatalf("seed %d workers %d: parallel diverged: %v vs %v",
+					seed, workers, par.Copies, seq.Copies)
+			}
+		}
+	}
+}
+
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(40, 0.15, rng, gen.UniformWeights(rng, 1, 9))
+		want := g.AllPairs()
+		for _, workers := range []int{2, 3, 0} {
+			got := g.AllPairsParallel(workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: parallel APSP differs", seed, workers)
+			}
+		}
+	}
+}
+
+// Concurrent lazy metric initialisation must be race-free (run with -race).
+func TestDistConcurrentInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomCoreInstance(rng, 20, 1, 0.3)
+	done := make(chan [][]float64, 8)
+	for k := 0; k < 8; k++ {
+		go func() { done <- in.Dist() }()
+	}
+	first := <-done
+	for k := 1; k < 8; k++ {
+		if other := <-done; &other[0] != &first[0] {
+			t.Fatal("concurrent Dist() returned distinct matrices")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The non-uniform model: fees are per byte, so an object of size s pays
+// s * cs per copy and s * ct per traversal. Size must scale every cost
+// component linearly and leave the optimal placement unchanged.
+
+func TestSizeScalesCostLinearly(t *testing.T) {
+	fn := func(seed int64, sizeBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoreInstance(rng, 3+rng.Intn(8), 1, 0.5)
+		obj := in.Objects[0]
+		size := 0.25 + float64(sizeBits)/16 // 0.25 .. 16.2
+		k := 1 + rng.Intn(in.N())
+		copies := rng.Perm(in.N())[:k]
+
+		base := in.ObjectCost(&obj, copies)
+		scaled := obj
+		scaled.Size = size
+		got := in.ObjectCost(&scaled, copies)
+		eps := 1e-9 * (1 + base.Total())
+		return math.Abs(got.Storage-size*base.Storage) < eps &&
+			math.Abs(got.Read-size*base.Read) < eps &&
+			math.Abs(got.Update-size*base.Update) < eps
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeDoesNotChangePlacement(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoreInstance(rng, 4+rng.Intn(8), 1, 0.4)
+		base := Approximate(in, Options{})
+
+		big := MustInstance(in.G, in.Storage, []Object{{
+			Size:   64,
+			Reads:  in.Objects[0].Reads,
+			Writes: in.Objects[0].Writes,
+		}})
+		scaled := Approximate(big, Options{})
+		if !reflect.DeepEqual(base.Copies, scaled.Copies) {
+			t.Fatalf("seed %d: size changed the placement: %v vs %v", seed, base.Copies, scaled.Copies)
+		}
+	}
+}
+
+func TestNewInstanceNormalisesSize(t *testing.T) {
+	in := randomCoreInstance(rand.New(rand.NewSource(1)), 5, 1, 0)
+	if in.Objects[0].Size != 1 {
+		t.Fatalf("unset size normalised to %v, want 1", in.Objects[0].Size)
+	}
+	obj := Object{Size: math.NaN(), Reads: make([]int64, 5), Writes: make([]int64, 5)}
+	if _, err := NewInstance(in.G, in.Storage, []Object{obj}); err == nil {
+		t.Fatal("NaN size accepted")
+	}
+	obj.Size = math.Inf(1)
+	if _, err := NewInstance(in.G, in.Storage, []Object{obj}); err == nil {
+		t.Fatal("infinite size accepted")
+	}
+}
+
+func TestScaleDefault(t *testing.T) {
+	o := Object{}
+	if o.Scale() != 1 {
+		t.Fatal("zero size must scale as 1")
+	}
+	o.Size = 2.5
+	if o.Scale() != 2.5 {
+		t.Fatal("explicit size ignored")
+	}
+}

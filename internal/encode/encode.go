@@ -1,0 +1,124 @@
+// Package encode serialises instances and placements as JSON for the CLI
+// tools (cmd/gennet writes instances, cmd/placer reads them and writes
+// placements).
+package encode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+)
+
+// EdgeJSON is one undirected edge with its transmission fee.
+type EdgeJSON struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"fee"`
+}
+
+// ObjectJSON is one shared object's request frequencies and size (bytes per
+// copy/transfer; 0 means the uniform default of 1).
+type ObjectJSON struct {
+	Name   string  `json:"name"`
+	Size   float64 `json:"size,omitempty"`
+	Reads  []int64 `json:"reads"`
+	Writes []int64 `json:"writes"`
+}
+
+// InstanceJSON is the on-disk instance format.
+type InstanceJSON struct {
+	Nodes   int          `json:"nodes"`
+	Edges   []EdgeJSON   `json:"edges"`
+	Storage []float64    `json:"storage"`
+	Objects []ObjectJSON `json:"objects"`
+}
+
+// PlacementJSON is the on-disk placement format: per object name, the list
+// of copy-holding nodes.
+type PlacementJSON struct {
+	Copies map[string][]int `json:"copies"`
+}
+
+// WriteInstance serialises an instance.
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	ij := InstanceJSON{Nodes: in.G.N(), Storage: in.Storage}
+	for _, e := range in.G.Edges() {
+		ij.Edges = append(ij.Edges, EdgeJSON{U: e.U, V: e.V, W: e.W})
+	}
+	for i := range in.Objects {
+		o := &in.Objects[i]
+		ij.Objects = append(ij.Objects, ObjectJSON{Name: o.Name, Size: o.Size, Reads: o.Reads, Writes: o.Writes})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ij)
+}
+
+// ReadInstance deserialises and validates an instance.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var ij InstanceJSON
+	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	if ij.Nodes <= 0 {
+		return nil, fmt.Errorf("encode: instance has %d nodes", ij.Nodes)
+	}
+	g := graph.New(ij.Nodes)
+	for _, e := range ij.Edges {
+		if e.U < 0 || e.U >= ij.Nodes || e.V < 0 || e.V >= ij.Nodes || e.U == e.V || e.W < 0 {
+			return nil, fmt.Errorf("encode: bad edge %+v", e)
+		}
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	objs := make([]core.Object, len(ij.Objects))
+	for i, oj := range ij.Objects {
+		objs[i] = core.Object{Name: oj.Name, Size: oj.Size, Reads: oj.Reads, Writes: oj.Writes}
+	}
+	return core.NewInstance(g, ij.Storage, objs)
+}
+
+// WritePlacement serialises a placement using the instance's object names.
+func WritePlacement(w io.Writer, in *core.Instance, p core.Placement) error {
+	if err := p.Validate(in); err != nil {
+		return err
+	}
+	pj := PlacementJSON{Copies: make(map[string][]int, len(in.Objects))}
+	for i := range in.Objects {
+		name := in.Objects[i].Name
+		if name == "" {
+			name = fmt.Sprintf("object-%d", i)
+		}
+		pj.Copies[name] = p.Copies[i]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}
+
+// ReadPlacement deserialises a placement against an instance (objects are
+// matched by name, falling back to object-<index>).
+func ReadPlacement(r io.Reader, in *core.Instance) (core.Placement, error) {
+	var pj PlacementJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return core.Placement{}, fmt.Errorf("encode: %w", err)
+	}
+	p := core.Placement{Copies: make([][]int, len(in.Objects))}
+	for i := range in.Objects {
+		name := in.Objects[i].Name
+		if name == "" {
+			name = fmt.Sprintf("object-%d", i)
+		}
+		copies, ok := pj.Copies[name]
+		if !ok {
+			return core.Placement{}, fmt.Errorf("encode: placement missing object %q", name)
+		}
+		p.Copies[i] = copies
+	}
+	if err := p.Validate(in); err != nil {
+		return core.Placement{}, err
+	}
+	return p, nil
+}

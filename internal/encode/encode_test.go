@@ -1,0 +1,93 @@
+package encode
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+func sample(rng *rand.Rand) *core.Instance {
+	g := gen.ErdosRenyi(8, 0.4, rng, gen.UniformWeights(rng, 1, 4))
+	storage := make([]float64, 8)
+	for v := range storage {
+		storage[v] = rng.Float64() * 9
+	}
+	objs := workload.Generate(8, workload.Spec{Objects: 3, MeanRate: 2, WriteFraction: 0.3, ZipfS: 0.8}, rng)
+	return core.MustInstance(g, storage, objs)
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := sample(rng)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.N() != in.G.N() || back.G.M() != in.G.M() {
+		t.Fatal("graph shape changed in round trip")
+	}
+	if !reflect.DeepEqual(back.Storage, in.Storage) {
+		t.Fatal("storage fees changed")
+	}
+	if len(back.Objects) != len(in.Objects) {
+		t.Fatal("object count changed")
+	}
+	for i := range in.Objects {
+		if !reflect.DeepEqual(back.Objects[i].Reads, in.Objects[i].Reads) ||
+			!reflect.DeepEqual(back.Objects[i].Writes, in.Objects[i].Writes) ||
+			back.Objects[i].Name != in.Objects[i].Name {
+			t.Fatalf("object %d changed", i)
+		}
+	}
+}
+
+func TestPlacementRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := sample(rng)
+	p := core.Placement{Copies: [][]int{{0, 3}, {5}, {1, 2, 7}}}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, in, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlacement(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Copies, p.Copies) {
+		t.Fatalf("placement changed: %v vs %v", back.Copies, p.Copies)
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"nodes":0}`,
+		`{"nodes":2,"edges":[{"u":0,"v":5,"fee":1}],"storage":[1,1]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":0,"fee":1}],"storage":[1,1]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"fee":-1}],"storage":[1,1]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"fee":1}],"storage":[1]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadInstance(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestReadPlacementMissingObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := sample(rng)
+	if _, err := ReadPlacement(strings.NewReader(`{"copies":{}}`), in); err == nil {
+		t.Fatal("placement without objects accepted")
+	}
+}

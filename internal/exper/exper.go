@@ -1,0 +1,180 @@
+// Package exper implements the evaluation suite E1–E12 described in
+// DESIGN.md. The paper itself is purely theoretical (no tables or figures),
+// so each experiment here is the synthetic equivalent: it measures a stated
+// theorem, lemma, or claim — approximation factors against exact optima,
+// runtime scaling against the proven complexity, and the qualitative
+// behaviour (replication vs. write share, storage-fee sensitivity) that the
+// paper's introduction motivates. cmd/experiments regenerates EXPERIMENTS.md
+// from these tables; the root bench_test.go exposes one benchmark per
+// experiment.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of rows, printed in the
+// aligned plain-text form EXPERIMENTS.md embeds.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Markdown writes the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only where needed),
+// with a leading comment line carrying the id and title.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s,%s\n", t.ID, csvQuote(t.Title)); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			quoted[i] = csvQuote(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+
+// Config scales the experiment suite: Quick shrinks instance counts and
+// sizes so benchmarks stay tractable; the full suite is what
+// cmd/experiments runs.
+type Config struct {
+	Quick bool
+}
+
+func (c Config) trials(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1ApproxRatio(cfg),
+		E2TreeOptimality(cfg),
+		E2TreeScaling(cfg),
+		E3WriteSweep(cfg),
+		E4StorageSweep(cfg),
+		E5Baselines(cfg),
+		E6LoadModel(cfg),
+		E7MSTvsSteiner(cfg),
+		E8RestrictedGap(cfg),
+		E9Scale(cfg),
+		E10Phases(cfg),
+		E11FLChoice(cfg),
+		E12Netsim(cfg),
+		E13Online(cfg),
+		E14Congestion(cfg),
+		E15Capacity(cfg),
+		E16Sizes(cfg),
+		E17Latency(cfg),
+	}
+}

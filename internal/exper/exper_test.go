@@ -1,0 +1,170 @@
+package exper
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	tables := All(Config{Quick: true})
+	if len(tables) != 18 {
+		t.Fatalf("got %d tables, want 18", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" {
+			t.Fatalf("table missing identity: %+v", tb)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate table id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s: row width %d, header width %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		if !strings.Contains(buf.String(), tb.ID) {
+			t.Fatalf("%s: printed table lacks its id", tb.ID)
+		}
+	}
+}
+
+// TestE1WithinTheoremBound: the measured approximation factors must be
+// finite, >= 1, and comfortably constant.
+func TestE1WithinTheoremBound(t *testing.T) {
+	tb := E1ApproxRatio(Config{Quick: true})
+	for _, row := range tb.Rows {
+		for _, col := range []int{3, 4, 5, 6} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("unparsable cell %q: %v", row[col], err)
+			}
+			if v < 1-1e-9 {
+				t.Fatalf("%s: ratio %v below 1 (beating the optimum?)", row[0], v)
+			}
+			if v > 30 {
+				t.Fatalf("%s: ratio %v not plausibly constant", row[0], v)
+			}
+		}
+	}
+}
+
+// TestE7RespectsClaim2 and TestE8RespectsLemma1 parse the measured maxima
+// and re-assert the theoretical bounds end-to-end.
+func TestE7RespectsClaim2(t *testing.T) {
+	tb := E7MSTvsSteiner(Config{Quick: true})
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 2+1e-9 || v < 1-1e-9 {
+			t.Fatalf("%s: max MST/Steiner ratio %v outside [1, 2]", row[0], v)
+		}
+	}
+}
+
+func TestE8RespectsLemma1(t *testing.T) {
+	tb := E8RestrictedGap(Config{Quick: true})
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 4+1e-9 || v < 1-1e-9 {
+			t.Fatalf("%s: restricted gap %v outside [1, 4]", row[0], v)
+		}
+	}
+}
+
+// TestE2TreeIsExact: the DP's measured gap column must be the zero string.
+func TestE2TreeIsExact(t *testing.T) {
+	tb := E2TreeOptimality(Config{Quick: true})
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[3], "0.000") {
+			t.Fatalf("%s: nonzero optimality gap %q", row[0], row[3])
+		}
+	}
+}
+
+// TestE3CopiesMonotone: replication must (weakly) fall as writes grow.
+func TestE3CopiesMonotone(t *testing.T) {
+	tb := E3WriteSweep(Config{Quick: true})
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		c, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > prev {
+			t.Fatalf("copies increased with write share: %v", tb.Rows)
+		}
+		prev = c
+	}
+	// read-only end must replicate more than the write-only end
+	first, _ := strconv.Atoi(tb.Rows[0][1])
+	last, _ := strconv.Atoi(tb.Rows[len(tb.Rows)-1][1])
+	if first <= last {
+		t.Fatalf("no replication collapse: %d -> %d copies", first, last)
+	}
+}
+
+// TestE4CopiesMonotone: replication must (weakly) fall as storage fees grow.
+func TestE4CopiesMonotone(t *testing.T) {
+	tb := E4StorageSweep(Config{Quick: true})
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		c, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > prev {
+			t.Fatalf("copies increased with storage fee: %v", tb.Rows)
+		}
+		prev = c
+	}
+}
+
+// TestE12GapZero: metered and analytic costs must agree.
+func TestE12GapZero(t *testing.T) {
+	tb := E12Netsim(Config{Quick: true})
+	if !strings.HasPrefix(tb.Rows[0][3], "0.000") {
+		t.Fatalf("netsim gap %q", tb.Rows[0][3])
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := Table{
+		ID:     "EX",
+		Title:  "demo, with comma",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "two, three"}, {"4", `say "hi"`}},
+		Notes:  []string{"a note"},
+	}
+	var md bytes.Buffer
+	if err := tb.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### EX", "| a | b |", "| --- | --- |", "*a note*"} {
+		if !strings.Contains(md.String(), want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := tb.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"demo, with comma"`, `"two, three"`, `"say ""hi"""`, "a,b"} {
+		if !strings.Contains(csv.String(), want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv.String())
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package exper
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"netplace/internal/core"
+	"netplace/internal/facility"
+	"netplace/internal/gen"
+	"netplace/internal/netsim"
+	"netplace/internal/solver"
+	"netplace/internal/steiner"
+	"netplace/internal/workload"
+)
+
+// E7MSTvsSteiner measures Claim 2's engine: the metric-closure MST over a
+// copy set costs at most twice the exact minimum Steiner tree.
+func E7MSTvsSteiner(cfg Config) Table {
+	t := Table{
+		ID:     "E7",
+		Title:  "MST multicast vs exact Steiner multicast (Claim 2: factor <= 2)",
+		Header: []string{"topology", "trials", "mean ratio", "max ratio", "bound"},
+		Notes:  []string{"random copy sets of size 2..7; exact trees via Dreyfus–Wagner"},
+	}
+	trials := cfg.trials(40, 8)
+	for _, topo := range []string{"er", "geometric", "grid", "ring"} {
+		var sum, max float64
+		count := 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(500 + trial)))
+			g, err := gen.Build(topo, 12, rng)
+			if err != nil {
+				panic(err)
+			}
+			n := g.N()
+			dist := g.AllPairs()
+			k := 2 + rng.Intn(6)
+			if k > n {
+				k = n
+			}
+			terms := rng.Perm(n)[:k]
+			mst := steiner.ApproxMST(dist, terms)
+			exact := steiner.ExactMetric(dist, terms)
+			if exact <= 0 {
+				continue
+			}
+			r := mst / exact
+			sum += r
+			max = math.Max(max, r)
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		t.AddRow(topo, d(count), f3(sum/float64(count)), f3(max), "2.000")
+	}
+	return t
+}
+
+// E8RestrictedGap measures Lemma 1: the exact restricted optimum against
+// the exact unrestricted optimum; the lemma proves a factor <= 4.
+func E8RestrictedGap(cfg Config) Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "restricted vs unrestricted optimum (Lemma 1: C_OPTW <= 4 C_OPT)",
+		Header: []string{"topology", "trials", "mean ratio", "max ratio", "bound"},
+		Notes: []string{
+			"restricted: shared MST multicast per write; unrestricted: per-write optimal Steiner sets",
+		},
+	}
+	trials := cfg.trials(25, 5)
+	for _, topo := range []string{"random-tree", "ring", "er", "clustered"} {
+		var sum, max float64
+		count := 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(8100 + trial)))
+			in := smallInstance(rng, topo, 9, 0.5)
+			r := solver.OptimalRestricted(in)[0].Cost
+			u := solver.OptimalUnrestricted(in)[0].Cost
+			if u <= 0 {
+				continue
+			}
+			ratio := r / u
+			sum += ratio
+			max = math.Max(max, ratio)
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		t.AddRow(topo, d(count), f3(sum/float64(count)), f3(max), "4.000")
+	}
+	return t
+}
+
+// E9Scale measures the Section 2 pipeline's wall time as the network and
+// object count grow (the paper claims polynomial time; the table shows the
+// practical profile, dominated by all-pairs shortest paths and phase 1).
+func E9Scale(cfg Config) Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "approximation algorithm scalability (clustered networks)",
+		Header: []string{"n", "objects", "copies/obj", "total time", "time/object"},
+		Notes:  []string{"greedy facility-location phase dominates; all-pairs Dijkstra amortised over objects"},
+	}
+	sizes := []int{60, 120, 240}
+	if cfg.Quick {
+		sizes = []int{40, 80}
+	}
+	for _, n := range sizes {
+		for _, objs := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(int64(n * objs)))
+			g, err := gen.Build("clustered", n, rng)
+			if err != nil {
+				panic(err)
+			}
+			nn := g.N()
+			storage := make([]float64, nn)
+			for v := range storage {
+				storage[v] = 2 + rng.Float64()*8
+			}
+			ow := workload.Generate(nn, workload.Spec{Objects: objs, MeanRate: 4, WriteFraction: 0.3, ZipfS: 0.8}, rng)
+			in := core.MustInstance(g, storage, ow)
+			// Mettu–Plaxton keeps the phase-1 cost near-linear for the
+			// scaling run; local search would be quadratic in moves.
+			start := time.Now()
+			p := core.Approximate(in, core.Options{FL: facility.MettuPlaxton})
+			elapsed := time.Since(start)
+			copies := 0
+			for i := range p.Copies {
+				copies += len(p.Copies[i])
+			}
+			t.AddRow(d(nn), d(objs), f1(float64(copies)/float64(objs)),
+				elapsed.Round(time.Millisecond).String(),
+				(elapsed / time.Duration(objs)).Round(time.Millisecond).String())
+		}
+	}
+	return t
+}
+
+// E10Phases ablates phases 2 and 3 of the algorithm: without phase 2 the
+// proper-placement covering constant k1 can blow up (nodes stranded far
+// from every copy); without phase 3 redundant clustered copies survive and
+// update costs rise.
+func E10Phases(cfg Config) Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "phase ablation of the Section 2 algorithm",
+		Header: []string{"variant", "mean copies", "mean cost vs full", "worst k1", "worst pair factor"},
+		Notes: []string{
+			"k1: smallest covering constant (Lemma 8 proves <= 29 for the full algorithm)",
+			"pair factor: min distance between copies over max(4·rw); >= 4 required (k2 = 2)",
+		},
+	}
+	trials := cfg.trials(25, 5)
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	variants := []variant{
+		{"full", core.Options{}},
+		{"no-phase2", core.Options{SkipPhase2: true}},
+		{"no-phase3", core.Options{SkipPhase3: true}},
+		{"phase1-only", core.Options{SkipPhase2: true, SkipPhase3: true}},
+	}
+	// Evaluate all variants on the same instances.
+	type agg struct {
+		copies  int
+		rel     float64
+		worstK1 float64
+		worstPF float64
+		count   int
+	}
+	res := make([]agg, len(variants))
+	for i := range res {
+		res[i].worstPF = math.Inf(1)
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1300 + trial)))
+		in := smallInstance(rng, "clustered", 18, 0.4)
+		obj := &in.Objects[0]
+		if obj.Requests().Total() == 0 {
+			continue
+		}
+		full := in.ObjectCost(obj, core.Approximate(in, variants[0].opt).Copies[0]).Total()
+		if full <= 0 {
+			continue
+		}
+		for i, v := range variants {
+			p := core.Approximate(in, v.opt)
+			cost := in.ObjectCost(obj, p.Copies[0]).Total()
+			rep := in.CheckProper(obj, p.Copies[0])
+			res[i].copies += len(p.Copies[0])
+			res[i].rel += cost / full
+			res[i].worstK1 = math.Max(res[i].worstK1, rep.MaxK1)
+			if rep.Copies > 1 {
+				res[i].worstPF = math.Min(res[i].worstPF, rep.MinPairFactor)
+			}
+			res[i].count++
+		}
+	}
+	for i, v := range variants {
+		r := res[i]
+		if r.count == 0 {
+			continue
+		}
+		pf := "n/a (single copies)"
+		if !math.IsInf(r.worstPF, 1) {
+			pf = f2(r.worstPF)
+		}
+		t.AddRow(v.name, f2(float64(r.copies)/float64(r.count)), f3(r.rel/float64(r.count)), f2(r.worstK1), pf)
+	}
+	return t
+}
+
+// E11FLChoice ablates the phase-1 facility location algorithm: Lemma 9 ties
+// the storage-cost guarantee to the FL approximation factor f, but any
+// constant-factor algorithm yields a constant overall.
+func E11FLChoice(cfg Config) Table {
+	t := Table{
+		ID:     "E11",
+		Title:  "phase-1 facility location algorithm ablation",
+		Header: []string{"fl algorithm", "trials", "mean vs OPT_R", "max vs OPT_R", "mean copies"},
+		Notes:  []string{"same instances across rows; OPT_R as in E1"},
+	}
+	trials := cfg.trials(20, 4)
+	solvers := []struct {
+		name string
+		fn   facility.Solver
+	}{
+		{"local-search", facility.LocalSearch},
+		{"jain-vazirani", facility.JainVazirani},
+		{"mettu-plaxton", facility.MettuPlaxton},
+		{"greedy", facility.Greedy},
+	}
+	for _, s := range solvers {
+		var sum, max float64
+		copies, count := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(2600 + trial)))
+			in := smallInstance(rng, "er", 10, 0.3)
+			if in.Objects[0].Requests().Total() == 0 {
+				continue
+			}
+			p := core.Approximate(in, core.Options{FL: s.fn})
+			cost := in.ObjectCost(&in.Objects[0], p.Copies[0]).Total()
+			opt := solver.OptimalRestricted(in)[0].Cost
+			if opt <= 0 {
+				continue
+			}
+			r := cost / opt
+			sum += r
+			max = math.Max(max, r)
+			copies += len(p.Copies[0])
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		t.AddRow(s.name, d(count), f3(sum/float64(count)), f3(max), f2(float64(copies)/float64(count)))
+	}
+	return t
+}
+
+// E12Netsim replays workloads message-by-message and checks the metered
+// bill equals the analytic objective the algorithms optimise.
+func E12Netsim(cfg Config) Table {
+	t := Table{
+		ID:     "E12",
+		Title:  "discrete-event replay vs analytic cost (model validation)",
+		Header: []string{"trials", "requests", "messages", "max rel gap", "mean hops/request"},
+		Notes:  []string{"gap must be 0 up to float tolerance: the simulator meters the closed form"},
+	}
+	trials := cfg.trials(20, 4)
+	var requests, messages int64
+	maxGap := 0.0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(660 + trial)))
+		in := smallInstance(rng, "geometric", 14, 0.3)
+		p := core.Approximate(in, core.Options{})
+		sim, err := netsim.New(in, p)
+		if err != nil {
+			panic(err)
+		}
+		st := sim.Run()
+		analytic := in.Cost(p).Total()
+		if analytic > 0 {
+			maxGap = math.Max(maxGap, math.Abs(st.Total()-analytic)/analytic)
+		}
+		requests += st.Requests
+		messages += st.Messages
+	}
+	hops := 0.0
+	if requests > 0 {
+		hops = float64(messages) / float64(requests)
+	}
+	t.AddRow(d(trials), d(int(requests)), d(int(messages)), f3(maxGap)+" (want 0)", f2(hops))
+	return t
+}

@@ -1,0 +1,140 @@
+package exper
+
+import (
+	"math"
+	"math/rand"
+
+	"netplace/internal/capacity"
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+// E15Capacity sweeps memory-capacity pressure in the read-only capacitated
+// extension (Baev–Rajaraman's setting from the related work): as per-node
+// capacity shrinks toward one copy per node, placements are forced off
+// their preferred nodes and the cost rises over the uncapacitated optimum.
+func E15Capacity(cfg Config) Table {
+	t := Table{
+		ID:     "E15",
+		Title:  "capacitated read-only placement vs capacity pressure (extension, cf. Baev–Rajaraman [3])",
+		Header: []string{"cap/node", "feasible", "cost vs uncap", "copies total", "nodes saturated"},
+		Notes: []string{
+			"uncapacitated reference: greedy-add on the same instance (capacity = ∞)",
+			"combinatorial local search with cross-object exchanges, not the LP rounding of [3]",
+		},
+	}
+	rng := rand.New(rand.NewSource(4040))
+	n := 14
+	objects := 8
+	if cfg.Quick {
+		n, objects = 10, 5
+	}
+	g := gen.ErdosRenyi(n, 0.4, rng, gen.UniformWeights(rng, 1, 5))
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 1 + rng.Float64()*4
+	}
+	objs := workload.Generate(n, workload.Spec{Objects: objects, MeanRate: 6, ZipfS: 0.7}, rng)
+	in := core.MustInstance(g, storage, objs)
+	base := in.Cost(core.GreedyAdd(in)).Total()
+
+	for _, capPer := range []int{objects, 4, 2, 1} {
+		caps := make([]int, n)
+		for v := range caps {
+			caps[v] = capPer
+		}
+		p := &capacity.Problem{In: in, Cap: caps}
+		pl, err := capacity.Solve(p)
+		if err != nil {
+			t.AddRow(d(capPer), "no", "-", "-", "-")
+			continue
+		}
+		copies, saturated := 0, 0
+		used := make([]int, n)
+		for _, set := range pl.Copies {
+			copies += len(set)
+			for _, v := range set {
+				used[v]++
+			}
+		}
+		for v := range used {
+			if used[v] == capPer {
+				saturated++
+			}
+		}
+		rel := math.Inf(1)
+		if base > 0 {
+			rel = p.Cost(pl) / base
+		}
+		t.AddRow(d(capPer), "yes", f3(rel), d(copies), d(saturated))
+	}
+	return t
+}
+
+// E16Sizes exercises the paper's non-uniform model: per-byte fees with
+// heterogeneous object sizes. Two invariants are reported: per-object
+// placements are size-invariant (the argmin does not see the common
+// factor), and total bills decompose linearly in size.
+func E16Sizes(cfg Config) Table {
+	t := Table{
+		ID:     "E16",
+		Title:  "non-uniform object sizes (per-byte fees): invariance and billing",
+		Header: []string{"size spread", "objects", "placements size-invariant", "max bill gap", "mean copies"},
+		Notes: []string{
+			"paper (§1.1): \"all our results hold also in a non-uniform model\"",
+			"bill gap: |cost(sized) - size*cost(unit)| relative, must be 0",
+		},
+	}
+	trials := cfg.trials(10, 3)
+	for _, spread := range []float64{1, 4, 16} {
+		invariant := 0
+		maxGap := 0.0
+		copies, count := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(7600 + trial)))
+			g, err := gen.Build("clustered", 20, rng)
+			if err != nil {
+				panic(err)
+			}
+			n := g.N()
+			storage := make([]float64, n)
+			for v := range storage {
+				storage[v] = 2 + rng.Float64()*5
+			}
+			objs := workload.Generate(n, workload.Spec{Objects: 3, MeanRate: 4, WriteFraction: 0.25, ZipfS: 0.5, SizeSpread: spread}, rng)
+			in := core.MustInstance(g, storage, objs)
+			p := core.Approximate(in, core.Options{})
+
+			// unit-size twin
+			unitObjs := make([]core.Object, len(objs))
+			for i := range objs {
+				unitObjs[i] = core.Object{Name: objs[i].Name, Reads: objs[i].Reads, Writes: objs[i].Writes}
+			}
+			uin := core.MustInstance(g.Clone(), storage, unitObjs)
+			up := core.Approximate(uin, core.Options{})
+
+			same := true
+			for i := range p.Copies {
+				if !equalSets(p.Copies[i], up.Copies[i]) {
+					same = false
+				}
+				copies += len(p.Copies[i])
+				count++
+				sized := in.ObjectCost(&in.Objects[i], p.Copies[i]).Total()
+				unit := uin.ObjectCost(&uin.Objects[i], p.Copies[i]).Total()
+				want := in.Objects[i].Scale() * unit
+				if want > 0 {
+					if gap := math.Abs(sized-want) / want; gap > maxGap {
+						maxGap = gap
+					}
+				}
+			}
+			if same {
+				invariant++
+			}
+		}
+		t.AddRow(f1(spread), d(count), d(invariant)+"/"+d(trials), f3(maxGap)+" (want 0)", f2(float64(copies)/float64(count)))
+	}
+	return t
+}

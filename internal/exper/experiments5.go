@@ -1,0 +1,76 @@
+package exper
+
+import (
+	"math/rand"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/netsim"
+	"netplace/internal/workload"
+)
+
+// E17Latency measures request latency under finite link bandwidths: the
+// same placements that minimise fees also spread traffic across replicas,
+// which shows up as tail latency under contention. Full replication pays
+// for its update storms; a single site serialises every reader through one
+// uplink. (Extension experiment: the paper's model is cost-only.)
+func E17Latency(cfg Config) Table {
+	t := Table{
+		ID:     "E17",
+		Title:  "request latency under finite bandwidth (queued replay)",
+		Header: []string{"strategy", "copies", "fee total", "mean lat", "p95 lat", "max lat", "busiest link busy"},
+		Notes: []string{
+			"clustered network; backbone links 10x the access bandwidth; burst injection",
+			"latency counts queueing + transfer (propagation 0), a write completes with its last update delivery",
+		},
+	}
+	rng := rand.New(rand.NewSource(1717))
+	clusters := 6
+	if cfg.Quick {
+		clusters = 4
+	}
+	g := gen.Clustered(gen.ClusteredParams{Clusters: clusters, ClusterSize: 5, IntraWeight: 0.3, InterWeight: 3, Backbone: 0.3}, rng)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 3
+	}
+	objs := workload.Generate(n, workload.Spec{Objects: 2, MeanRate: 4, WriteFraction: 0.15, ZipfS: 0.6}, rng)
+	in := core.MustInstance(g, storage, objs)
+
+	bw := make([]float64, g.M())
+	for id, e := range g.Edges() {
+		if e.U < clusters && e.V < clusters {
+			bw[id] = 10 // backbone
+		} else {
+			bw[id] = 1 // access link
+		}
+	}
+
+	strategies := []struct {
+		name string
+		p    core.Placement
+	}{
+		{"approx", core.Approximate(in, core.Options{})},
+		{"single-best", core.SingleBest(in)},
+		{"full-replication", core.FullReplication(in)},
+		{"greedy-add", core.GreedyAdd(in)},
+	}
+	for _, s := range strategies {
+		sim, err := netsim.New(in, s.p)
+		if err != nil {
+			panic(err)
+		}
+		st, err := sim.RunQueued(netsim.QueueConfig{Bandwidth: bw})
+		if err != nil {
+			panic(err)
+		}
+		copies := 0
+		for _, set := range s.p.Copies {
+			copies += len(set)
+		}
+		t.AddRow(s.name, d(copies), f1(st.Total()),
+			f2(st.MeanLatency), f2(st.P95Latency), f2(st.MaxLatency), f1(st.BusyTime))
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+// Package facility solves the uncapacitated facility location problem (UFL)
+// with combinatorial algorithms. Phase 1 of the paper's approximation
+// algorithm reduces static data management to UFL on the "related facility
+// location problem" (all writes treated as reads); the paper only requires
+// some constant-factor UFL algorithm, so this package provides the three
+// classic LP-free ones its reference list points at:
+//
+//   - local search with add/drop/swap moves (Korupolu, Plaxton, Rajaraman),
+//   - the Jain–Vazirani primal–dual algorithm (3-approximation),
+//   - the Mettu–Plaxton radius-greedy algorithm (3-approximation),
+//
+// plus an exact brute-force solver for evaluation on small instances.
+package facility
+
+import (
+	"math"
+	"sort"
+)
+
+// Instance is a UFL instance over a finite metric: Open[i] is the cost of
+// opening a facility at node i; Demand[j] is the (integral) request weight
+// of client j; Dist is the dense metric. Facilities and clients share the
+// node universe 0..n-1, as in the data-management reduction where every
+// node may both issue requests and hold a copy.
+type Instance struct {
+	Open   []float64
+	Demand []int64
+	Dist   [][]float64
+}
+
+// N returns the number of nodes.
+func (in *Instance) N() int { return len(in.Open) }
+
+// Cost returns the UFL objective of opening exactly the given facility set:
+// total opening cost plus each client's demand times its distance to the
+// nearest open facility. An empty set costs +Inf.
+func (in *Instance) Cost(open []int) float64 {
+	if len(open) == 0 {
+		return math.Inf(1)
+	}
+	c := 0.0
+	for _, f := range open {
+		c += in.Open[f]
+	}
+	for j := 0; j < in.N(); j++ {
+		if in.Demand[j] == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, f := range open {
+			if d := in.Dist[j][f]; d < best {
+				best = d
+			}
+		}
+		c += float64(in.Demand[j]) * best
+	}
+	return c
+}
+
+// ConnectionCost returns only the service part of the objective.
+func (in *Instance) ConnectionCost(open []int) float64 {
+	c := 0.0
+	for j := 0; j < in.N(); j++ {
+		if in.Demand[j] == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, f := range open {
+			if d := in.Dist[j][f]; d < best {
+				best = d
+			}
+		}
+		c += float64(in.Demand[j]) * best
+	}
+	return c
+}
+
+// Solver is a UFL algorithm: it returns a non-empty facility set.
+type Solver func(in *Instance) []int
+
+// BruteForce enumerates all non-empty facility subsets and returns an
+// optimal one. Exponential; use only for n <= ~20 in evaluation.
+func BruteForce(in *Instance) []int {
+	n := in.N()
+	if n > 24 {
+		panic("facility: brute force instance too large")
+	}
+	bestCost := math.Inf(1)
+	var best []int
+	set := make([]int, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		set = set[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if c := in.Cost(set); c < bestCost {
+			bestCost = c
+			best = append(best[:0], set...)
+		}
+	}
+	return best
+}
+
+// LocalSearch runs add/drop/swap local search starting from the best single
+// facility, accepting a move only if it improves the objective by more than
+// a (1 + eps/n) factor so termination is polynomial. With eps -> 0 the
+// solution is a (5)-approximation (Korupolu et al.); we use eps = 1e-6.
+func LocalSearch(in *Instance) []int {
+	n := in.N()
+	if n == 0 {
+		return nil
+	}
+	open := make([]bool, n)
+	// Start: best single facility.
+	best, bestCost := -1, math.Inf(1)
+	for v := 0; v < n; v++ {
+		if c := in.Cost([]int{v}); c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	open[best] = true
+	cur := bestCost
+	const eps = 1e-6
+	improves := func(c float64) bool { return c < cur*(1-eps/float64(n)) }
+
+	openSet := func() []int {
+		var s []int
+		for v := 0; v < n; v++ {
+			if open[v] {
+				s = append(s, v)
+			}
+		}
+		return s
+	}
+
+	for iter := 0; iter < 10000; iter++ {
+		improved := false
+		s := openSet()
+		// Add moves.
+		for v := 0; v < n && !improved; v++ {
+			if open[v] {
+				continue
+			}
+			if c := in.Cost(append(s, v)); improves(c) {
+				open[v] = true
+				cur = c
+				improved = true
+			}
+		}
+		// Drop moves.
+		if !improved && len(s) > 1 {
+			for _, v := range s {
+				t := without(s, v)
+				if c := in.Cost(t); improves(c) {
+					open[v] = false
+					cur = c
+					improved = true
+					break
+				}
+			}
+		}
+		// Swap moves.
+		if !improved {
+			for _, v := range s {
+				for u := 0; u < n; u++ {
+					if open[u] {
+						continue
+					}
+					t := append(without(s, v), u)
+					if c := in.Cost(t); improves(c) {
+						open[v] = false
+						open[u] = true
+						cur = c
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return openSet()
+}
+
+func without(s []int, v int) []int {
+	t := make([]int, 0, len(s))
+	for _, x := range s {
+		if x != v {
+			t = append(t, x)
+		}
+	}
+	return t
+}
+
+// MettuPlaxton runs the Mettu–Plaxton radius-greedy algorithm: for every
+// node compute the radius r(v) at which the ball around v "pays for" the
+// opening cost, then scan nodes by ascending radius and open v unless an
+// already-open facility lies within 2 r(v). 3-approximation.
+func MettuPlaxton(in *Instance) []int {
+	n := in.N()
+	r := make([]float64, n)
+	for v := 0; v < n; v++ {
+		r[v] = mpRadius(in, v)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return r[order[a]] < r[order[b]] })
+	var open []int
+	for _, v := range order {
+		ok := true
+		for _, f := range open {
+			if in.Dist[v][f] <= 2*r[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			open = append(open, v)
+		}
+	}
+	if len(open) == 0 && n > 0 {
+		open = append(open, order[0])
+	}
+	sort.Ints(open)
+	return open
+}
+
+// mpRadius solves sum_{u: d(u,v) <= r} demand(u) * (r - d(u,v)) = open(v)
+// for r. The left side is piecewise linear and increasing in r, so walk the
+// nodes sorted by distance accumulating slope.
+func mpRadius(in *Instance, v int) float64 {
+	n := in.N()
+	type du struct {
+		d float64
+		w int64
+	}
+	ds := make([]du, 0, n)
+	for u := 0; u < n; u++ {
+		if in.Demand[u] > 0 {
+			ds = append(ds, du{in.Dist[v][u], in.Demand[u]})
+		}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	target := in.Open[v]
+	var slope int64 // total demand inside the current ball
+	value := 0.0    // left side at the current radius
+	radius := 0.0
+	for _, e := range ds {
+		if slope > 0 {
+			// advance radius to e.d
+			need := (target - value) / float64(slope)
+			if radius+need <= e.d {
+				return radius + need
+			}
+			value += float64(slope) * (e.d - radius)
+		}
+		radius = e.d
+		slope += e.w
+	}
+	if slope == 0 {
+		return math.Inf(1) // no demand anywhere: never pays off
+	}
+	return radius + (target-value)/float64(slope)
+}

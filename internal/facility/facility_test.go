@@ -1,0 +1,174 @@
+package facility
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"netplace/internal/gen"
+)
+
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	g := gen.ErdosRenyi(n, 0.4, rng, gen.UniformWeights(rng, 1, 8))
+	in := &Instance{
+		Open:   make([]float64, n),
+		Demand: make([]int64, n),
+		Dist:   g.AllPairs(),
+	}
+	for v := 0; v < n; v++ {
+		in.Open[v] = rng.Float64() * 25
+		in.Demand[v] = rng.Int63n(8)
+	}
+	return in
+}
+
+func checkSolver(t *testing.T, name string, solve Solver, ratio float64, seeds int) {
+	t.Helper()
+	worst := 0.0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		in := randomInstance(rng, n)
+		got := solve(in)
+		if len(got) == 0 {
+			t.Fatalf("%s seed %d: empty facility set", name, seed)
+		}
+		gc := in.Cost(got)
+		opt := in.Cost(BruteForce(in))
+		if gc < opt-1e-9 {
+			t.Fatalf("%s seed %d: solver cost %v below optimum %v", name, seed, gc, opt)
+		}
+		r := 1.0
+		if opt > 0 {
+			r = gc / opt
+		}
+		if r > worst {
+			worst = r
+		}
+		if r > ratio {
+			t.Fatalf("%s seed %d: ratio %.3f exceeds bound %.1f (cost %v, opt %v)", name, seed, r, ratio, gc, opt)
+		}
+	}
+	t.Logf("%s: worst observed ratio %.4f over %d instances", name, worst, seeds)
+}
+
+func TestLocalSearchRatio(t *testing.T)  { checkSolver(t, "local-search", LocalSearch, 5.01, 120) }
+func TestJainVaziraniRatio(t *testing.T) { checkSolver(t, "jain-vazirani", JainVazirani, 3.01, 120) }
+func TestMettuPlaxtonRatio(t *testing.T) { checkSolver(t, "mettu-plaxton", MettuPlaxton, 3.01, 120) }
+
+func TestBruteForceKnownInstance(t *testing.T) {
+	// Two demand clusters far apart, cheap openings: optimum opens both.
+	in := &Instance{
+		Open:   []float64{1, 100, 1},
+		Demand: []int64{10, 0, 10},
+		Dist: [][]float64{
+			{0, 5, 10},
+			{5, 0, 5},
+			{10, 5, 0},
+		},
+	}
+	got := BruteForce(in)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("optimum %v, want [0 2]", got)
+	}
+	if c := in.Cost(got); c != 2 {
+		t.Fatalf("optimal cost %v, want 2", c)
+	}
+}
+
+func TestCostEmptySetInfinite(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(1)), 5)
+	if !math.IsInf(in.Cost(nil), 1) {
+		t.Fatal("empty facility set must cost +Inf")
+	}
+}
+
+func TestConnectionCostExcludesOpening(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(2)), 6)
+	open := []int{0, 3}
+	total := in.Cost(open)
+	conn := in.ConnectionCost(open)
+	if math.Abs(total-(conn+in.Open[0]+in.Open[3])) > 1e-9 {
+		t.Fatal("cost decomposition inconsistent")
+	}
+}
+
+func TestSolversHandleZeroDemand(t *testing.T) {
+	in := &Instance{
+		Open:   []float64{5, 2, 7},
+		Demand: []int64{0, 0, 0},
+		Dist:   [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}},
+	}
+	for name, solve := range map[string]Solver{
+		"local-search":  LocalSearch,
+		"jain-vazirani": JainVazirani,
+		"mettu-plaxton": MettuPlaxton,
+	} {
+		got := solve(in)
+		if len(got) == 0 {
+			t.Fatalf("%s: returned no facility on zero-demand instance", name)
+		}
+	}
+}
+
+func TestSolversHandleSingleNode(t *testing.T) {
+	in := &Instance{Open: []float64{3}, Demand: []int64{4}, Dist: [][]float64{{0}}}
+	for name, solve := range map[string]Solver{
+		"local-search":  LocalSearch,
+		"jain-vazirani": JainVazirani,
+		"mettu-plaxton": MettuPlaxton,
+	} {
+		got := solve(in)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("%s: %v", name, got)
+		}
+	}
+}
+
+func TestLocalSearchImprovesOverSingleton(t *testing.T) {
+	// A line of heavy demand nodes with cheap facilities everywhere: any
+	// single placement pays long hauls, local search must open several.
+	n := 9
+	in := &Instance{Open: make([]float64, n), Demand: make([]int64, n), Dist: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		in.Open[i] = 2
+		in.Demand[i] = 5
+		in.Dist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			in.Dist[i][j] = math.Abs(float64(i - j))
+		}
+	}
+	got := LocalSearch(in)
+	if len(got) < 2 {
+		t.Fatalf("local search stuck at %v", got)
+	}
+	bestSingle := math.Inf(1)
+	for v := 0; v < n; v++ {
+		if c := in.Cost([]int{v}); c < bestSingle {
+			bestSingle = c
+		}
+	}
+	if in.Cost(got) >= bestSingle {
+		t.Fatal("local search no better than best singleton")
+	}
+}
+
+func TestGreedyRatio(t *testing.T) { checkSolver(t, "greedy", Greedy, 4.0, 120) }
+
+func TestGreedyZeroDemandAndSingleton(t *testing.T) {
+	in := &Instance{
+		Open:   []float64{5, 2, 7},
+		Demand: []int64{0, 0, 0},
+		Dist:   [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}},
+	}
+	got := Greedy(in)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("zero-demand greedy = %v, want cheapest [1]", got)
+	}
+	one := &Instance{Open: []float64{3}, Demand: []int64{4}, Dist: [][]float64{{0}}}
+	if got := Greedy(one); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton greedy = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package facility
+
+import (
+	"math"
+	"sort"
+)
+
+// Greedy runs the classic cost-effectiveness greedy for UFL (Hochbaum's
+// set-cover reduction): repeatedly open the facility (or reuse an open one)
+// whose next batch of clients has the lowest (opening + connection) cost
+// per unit of newly served demand, until every client is connected. An
+// O(log n)-approximation in general, typically strong in practice; included
+// as the fourth phase-1 option and as a baseline for E11-style ablations.
+func Greedy(in *Instance) []int {
+	n := in.N()
+	connected := make([]bool, n)
+	remaining := 0
+	for j := 0; j < n; j++ {
+		if in.Demand[j] > 0 {
+			remaining++
+		} else {
+			connected[j] = true
+		}
+	}
+	isOpen := make([]bool, n)
+	var open []int
+
+	if remaining == 0 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if in.Open[i] < in.Open[best] {
+				best = i
+			}
+		}
+		return []int{best}
+	}
+
+	type cand struct {
+		d float64
+		j int
+		w float64
+	}
+	for remaining > 0 {
+		bestFac, bestK := -1, 0
+		bestRatio := math.Inf(1)
+		var bestList []cand
+		for i := 0; i < n; i++ {
+			// Unconnected clients by distance to i.
+			var cs []cand
+			for j := 0; j < n; j++ {
+				if !connected[j] {
+					cs = append(cs, cand{d: in.Dist[j][i], j: j, w: float64(in.Demand[j])})
+				}
+			}
+			sort.Slice(cs, func(a, b int) bool { return cs[a].d < cs[b].d })
+			openCost := in.Open[i]
+			if isOpen[i] {
+				openCost = 0
+			}
+			// Best prefix of clients for this facility.
+			cost := openCost
+			demand := 0.0
+			for k, c := range cs {
+				cost += c.d * c.w
+				demand += c.w
+				if demand == 0 {
+					continue
+				}
+				if ratio := cost / demand; ratio < bestRatio {
+					bestRatio = ratio
+					bestFac = i
+					bestK = k + 1
+					bestList = cs
+				}
+			}
+		}
+		if bestFac < 0 {
+			break // only zero-demand clients remain
+		}
+		if !isOpen[bestFac] {
+			isOpen[bestFac] = true
+			open = append(open, bestFac)
+		}
+		for k := 0; k < bestK; k++ {
+			j := bestList[k].j
+			if !connected[j] {
+				connected[j] = true
+				remaining--
+			}
+		}
+	}
+	if len(open) == 0 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if in.Open[i] < in.Open[best] {
+				best = i
+			}
+		}
+		open = append(open, best)
+	}
+	sort.Ints(open)
+	return open
+}

@@ -1,0 +1,200 @@
+package facility
+
+import (
+	"math"
+	"sort"
+)
+
+// JainVazirani runs the Jain–Vazirani primal–dual algorithm (STOC '99
+// version), a 3-approximation for metric UFL.
+//
+// Phase 1 (dual ascent): every unconnected client j raises its dual α_j at
+// unit rate. Once α_j reaches d(j, i), the excess (α_j − d(j, i)) pays
+// toward facility i's opening cost. A facility is "temporarily opened" when
+// its opening cost is fully paid; clients with α_j ≥ d(j, i) to a
+// temporarily open facility freeze.
+//
+// Phase 2 (pruning): temporarily open facilities that share a paying client
+// conflict; scanning them in opening order and keeping a maximal independent
+// set yields the final set.
+//
+// Demands are handled by treating a client of demand w as w unit clients
+// with a common α (their duals rise together), which the implementation
+// realises by weighting contributions by the demand.
+func JainVazirani(in *Instance) []int {
+	n := in.N()
+	type clientState struct {
+		alpha     float64
+		connected bool
+		demand    float64
+	}
+	cs := make([]clientState, n)
+	active := 0
+	for j := 0; j < n; j++ {
+		cs[j].demand = float64(in.Demand[j])
+		if in.Demand[j] == 0 {
+			cs[j].connected = true
+		} else {
+			active++
+		}
+	}
+	paid := make([]float64, n)   // amount paid toward each facility
+	openAt := make([]float64, n) // time the facility was temporarily opened
+	isOpen := make([]bool, n)    // temporarily open
+	witness := make([]int, n)    // for each client, an open facility within alpha
+	contrib := make([][]bool, n) // contrib[i][j]: client j has positive contribution to i
+	for i := range contrib {
+		contrib[i] = make([]bool, n)
+		openAt[i] = math.Inf(1)
+	}
+	for j := range witness {
+		witness[j] = -1
+	}
+
+	t := 0.0
+	for active > 0 {
+		// Next event: either some unconnected client reaches an open
+		// facility (α_j = d(j,i)), or some facility becomes fully paid.
+		dt := math.Inf(1)
+
+		// Event A: unconnected client j hits distance to an already-open
+		// facility i: happens after d(j,i) - α_j.
+		for j := 0; j < n; j++ {
+			if cs[j].connected {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if !isOpen[i] {
+					continue
+				}
+				if need := in.Dist[j][i] - cs[j].alpha; need < dt {
+					dt = need
+				}
+			}
+		}
+		// Event B: facility i becomes fully paid. Its payment grows at rate
+		// sum of demands of unconnected clients with α_j >= d(j,i), plus new
+		// clients crossing the distance threshold — handle thresholds as
+		// events too.
+		for i := 0; i < n; i++ {
+			if isOpen[i] {
+				continue
+			}
+			rate := 0.0
+			for j := 0; j < n; j++ {
+				if !cs[j].connected && cs[j].alpha >= in.Dist[j][i] {
+					rate += cs[j].demand
+				}
+			}
+			if rate > 0 {
+				if need := (in.Open[i] - paid[i]) / rate; need < dt {
+					dt = need
+				}
+			}
+			// Threshold crossings: client starts contributing to i.
+			for j := 0; j < n; j++ {
+				if !cs[j].connected && cs[j].alpha < in.Dist[j][i] {
+					if need := in.Dist[j][i] - cs[j].alpha; need < dt {
+						dt = need
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// No demand left that can trigger anything; open cheapest.
+			break
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		// Advance time by dt.
+		t += dt
+		for j := 0; j < n; j++ {
+			if !cs[j].connected {
+				cs[j].alpha += dt
+			}
+		}
+		for i := 0; i < n; i++ {
+			if isOpen[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !cs[j].connected && cs[j].alpha >= in.Dist[j][i] {
+					paid[i] += cs[j].demand * math.Min(dt, cs[j].alpha-in.Dist[j][i])
+				}
+			}
+		}
+		// Open fully-paid facilities.
+		const tie = 1e-12
+		for i := 0; i < n; i++ {
+			if !isOpen[i] && paid[i] >= in.Open[i]-tie {
+				isOpen[i] = true
+				openAt[i] = t
+				for j := 0; j < n; j++ {
+					if cs[j].alpha >= in.Dist[j][i]-tie && cs[j].demand > 0 {
+						contrib[i][j] = true
+					}
+				}
+			}
+		}
+		// Freeze clients adjacent to open facilities.
+		for j := 0; j < n; j++ {
+			if cs[j].connected {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if isOpen[i] && cs[j].alpha >= in.Dist[j][i]-tie {
+					cs[j].connected = true
+					witness[j] = i
+					active--
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: prune conflicting facilities in opening order.
+	var opened []int
+	for i := 0; i < n; i++ {
+		if isOpen[i] {
+			opened = append(opened, i)
+		}
+	}
+	if len(opened) == 0 {
+		// Degenerate: no demand; open the cheapest facility.
+		best := 0
+		for i := 1; i < n; i++ {
+			if in.Open[i] < in.Open[best] {
+				best = i
+			}
+		}
+		return []int{best}
+	}
+	sort.SliceStable(opened, func(a, b int) bool { return openAt[opened[a]] < openAt[opened[b]] })
+	var final []int
+	conflict := func(i, k int) bool {
+		for j := 0; j < n; j++ {
+			if contrib[i][j] && contrib[k][j] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, i := range opened {
+		ok := true
+		for _, k := range final {
+			if conflict(i, k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			final = append(final, i)
+		}
+	}
+	if len(final) == 0 {
+		final = opened[:1]
+	}
+	sort.Ints(final)
+	return final
+}

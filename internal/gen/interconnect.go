@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"netplace/internal/graph"
+)
+
+// Classic parallel-machine interconnects, the network class behind the
+// paper's virtual-shared-memory scenario. All are deterministic.
+
+// Butterfly returns the d-dimensional (wrapped = false) butterfly network:
+// (d+1) levels of 2^d rows; node (l, r) connects to (l+1, r) and to
+// (l+1, r XOR 2^l). Ids are l*2^d + r.
+func Butterfly(d int, wrapped bool, w WeightFn) *graph.Graph {
+	rows := 1 << d
+	levels := d + 1
+	if wrapped {
+		levels = d
+	}
+	id := func(l, r int) int { return l*rows + r }
+	g := graph.New(levels * rows)
+	for l := 0; l < d; l++ {
+		nl := l + 1
+		if wrapped {
+			nl = (l + 1) % d
+		}
+		if nl == l {
+			continue // d == 1 wrapped degenerates
+		}
+		for r := 0; r < rows; r++ {
+			straight := id(nl, r)
+			cross := id(nl, r^(1<<l))
+			g.AddEdge(id(l, r), straight, w(id(l, r), straight))
+			g.AddEdge(id(l, r), cross, w(id(l, r), cross))
+		}
+	}
+	return g
+}
+
+// DeBruijn returns the binary de Bruijn graph on 2^d nodes as an undirected
+// network: node x connects to (2x mod 2^d) and (2x+1 mod 2^d). Self loops
+// are skipped and parallel edges collapsed.
+func DeBruijn(d int, w WeightFn) *graph.Graph {
+	n := 1 << d
+	g := graph.New(n)
+	type pair struct{ u, v int }
+	seen := make(map[pair]bool)
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		g.AddEdge(u, v, w(u, v))
+	}
+	for x := 0; x < n; x++ {
+		add(x, (2*x)%n)
+		add(x, (2*x+1)%n)
+	}
+	return g
+}
+
+// CubeConnectedCycles returns the d-dimensional CCC: each hypercube corner
+// is replaced by a cycle of d nodes; node (corner, i) connects to
+// (corner, i±1 mod d) along the cycle and to (corner XOR 2^i, i) across
+// dimension i. Ids are corner*d + i. Requires d >= 3.
+func CubeConnectedCycles(d int, w WeightFn) *graph.Graph {
+	if d < 3 {
+		panic("gen: cube-connected cycles needs d >= 3")
+	}
+	corners := 1 << d
+	id := func(c, i int) int { return c*d + i }
+	g := graph.New(corners * d)
+	for c := 0; c < corners; c++ {
+		for i := 0; i < d; i++ {
+			// cycle edge
+			j := (i + 1) % d
+			g.AddEdge(id(c, i), id(c, j), w(id(c, i), id(c, j)))
+			// dimension edge (add once)
+			cc := c ^ (1 << i)
+			if c < cc {
+				g.AddEdge(id(c, i), id(cc, i), w(id(c, i), id(cc, i)))
+			}
+		}
+	}
+	return g
+}
+
+// ShuffleExchange returns the binary shuffle-exchange network on 2^d nodes:
+// exchange edges flip the lowest bit, shuffle edges rotate the bit string
+// left. Self loops skipped, parallel edges collapsed.
+func ShuffleExchange(d int, w WeightFn) *graph.Graph {
+	n := 1 << d
+	g := graph.New(n)
+	type pair struct{ u, v int }
+	seen := make(map[pair]bool)
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		g.AddEdge(u, v, w(u, v))
+	}
+	for x := 0; x < n; x++ {
+		add(x, x^1) // exchange
+		shuffled := ((x << 1) | (x >> (d - 1))) & (n - 1)
+		add(x, shuffled) // shuffle
+	}
+	return g
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestButterflyShape(t *testing.T) {
+	d := 3
+	g := Butterfly(d, false, UnitWeights)
+	rows := 1 << d
+	if g.N() != (d+1)*rows {
+		t.Fatalf("nodes %d, want %d", g.N(), (d+1)*rows)
+	}
+	// every level transition contributes 2 edges per row
+	if g.M() != d*rows*2 {
+		t.Fatalf("edges %d, want %d", g.M(), d*rows*2)
+	}
+	if !g.Connected() {
+		t.Fatal("butterfly disconnected")
+	}
+	// interior nodes have degree 4, boundary levels degree 2
+	for r := 0; r < rows; r++ {
+		if g.Degree(r) != 2 {
+			t.Fatalf("level-0 node degree %d, want 2", g.Degree(r))
+		}
+		if g.Degree(d*rows+r) != 2 {
+			t.Fatalf("last-level node degree %d, want 2", g.Degree(d*rows+r))
+		}
+	}
+}
+
+func TestWrappedButterfly(t *testing.T) {
+	g := Butterfly(3, true, UnitWeights)
+	if g.N() != 3*8 {
+		t.Fatalf("nodes %d, want 24", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("wrapped butterfly disconnected")
+	}
+	// 4-regular
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("node %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestDeBruijnShape(t *testing.T) {
+	g := DeBruijn(4, UnitWeights)
+	if g.N() != 16 {
+		t.Fatalf("nodes %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("de bruijn disconnected")
+	}
+	// max degree 4 (two out-, two in-neighbours collapsed undirected)
+	if g.MaxDegree() > 4 {
+		t.Fatalf("max degree %d > 4", g.MaxDegree())
+	}
+}
+
+func TestCCCShape(t *testing.T) {
+	d := 3
+	g := CubeConnectedCycles(d, UnitWeights)
+	if g.N() != (1<<d)*d {
+		t.Fatalf("nodes %d, want %d", g.N(), (1<<d)*d)
+	}
+	if !g.Connected() {
+		t.Fatal("CCC disconnected")
+	}
+	// CCC is 3-regular
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("node %d degree %d, want 3", v, g.Degree(v))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d=2 must panic")
+		}
+	}()
+	CubeConnectedCycles(2, UnitWeights)
+}
+
+func TestShuffleExchangeShape(t *testing.T) {
+	g := ShuffleExchange(4, UnitWeights)
+	if g.N() != 16 {
+		t.Fatalf("nodes %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("shuffle-exchange disconnected")
+	}
+	if g.MaxDegree() > 3 {
+		t.Fatalf("max degree %d > 3", g.MaxDegree())
+	}
+}
+
+func TestInterconnectDeterminism(t *testing.T) {
+	a := Butterfly(3, false, UnitWeights)
+	b := Butterfly(3, false, UnitWeights)
+	if a.M() != b.M() || a.N() != b.N() {
+		t.Fatal("butterfly not deterministic")
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Fatal("butterfly edge order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package graph provides the weighted undirected graph substrate used by all
+// data-management algorithms in this repository: adjacency representation,
+// shortest paths, spanning trees, and structural queries.
+//
+// Edge weights are the paper's transmission costs ct(e); they must be
+// non-negative. Nodes are dense integers 0..N-1 so that algorithms can use
+// slices instead of maps on hot paths.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected edge between nodes U and V with transmission cost W.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// halfEdge is one direction of an Edge, stored in adjacency lists.
+type halfEdge struct {
+	to int
+	w  float64
+	id int // index into Graph.edges
+}
+
+// Graph is a weighted undirected graph with a fixed node count.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]halfEdge
+}
+
+// New returns an empty graph on n nodes (0..n-1).
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]halfEdge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts an undirected edge {u, v} with cost w and returns its id.
+// Self loops and negative weights are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at node %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w, id: id})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w, id: id})
+	return id
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum node degree, 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors calls fn for every edge incident to v, passing the neighbor and
+// the edge weight. Iteration order is insertion order.
+func (g *Graph) Neighbors(v int, fn func(u int, w float64)) {
+	for _, h := range g.adj[v] {
+		fn(h.to, h.w)
+	}
+}
+
+// NeighborList returns the neighbors of v with edge weights as a fresh slice.
+func (g *Graph) NeighborList(v int) []Edge {
+	out := make([]Edge, 0, len(g.adj[v]))
+	for _, h := range g.adj[v] {
+		out = append(out, Edge{U: v, V: h.to, W: h.w})
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.AddEdge(e.U, e.V, e.W)
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				count++
+				stack = append(stack, h.to)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// IsTree reports whether the graph is a tree (connected, n-1 edges).
+func (g *Graph) IsTree() bool {
+	return g.n >= 1 && len(g.edges) == g.n-1 && g.Connected()
+}
+
+// UnweightedDiameter returns the maximum number of edges on any shortest
+// (hop-count) path between two nodes, i.e. diam(T) in the paper's notation.
+// It returns 0 for graphs with fewer than two nodes and -1 if disconnected.
+func (g *Graph) UnweightedDiameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	diam := 0
+	dist := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range g.adj[v] {
+				if dist[h.to] < 0 {
+					dist[h.to] = dist[v] + 1
+					queue = append(queue, h.to)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// SortedEdges returns the edges sorted by ascending weight (ties by id),
+// without modifying the graph.
+func (g *Graph) SortedEdges() []Edge {
+	es := make([]Edge, len(g.edges))
+	copy(es, g.edges)
+	sort.SliceStable(es, func(i, j int) bool { return es[i].W < es[j].W })
+	return es
+}

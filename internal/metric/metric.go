@@ -1,0 +1,283 @@
+// Package metric provides the metric-space view of a network's transmission
+// costs and the request-radius machinery of Section 2.1 of the paper: the
+// average distance d(v, z) to the z closest requests, the write radius
+// rw(v), and the storage radius rs(v) with its storage number zs(v).
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// Space is a finite metric space over nodes 0..N-1, given by a dense
+// distance matrix. It is typically the shortest-path closure of a network's
+// edge fees ct (see graph.AllPairs), which the paper shows is a metric.
+type Space struct {
+	D [][]float64
+}
+
+// New wraps a dense distance matrix. The matrix is not copied.
+func New(d [][]float64) *Space { return &Space{D: d} }
+
+// N returns the number of points.
+func (s *Space) N() int { return len(s.D) }
+
+// Dist returns the distance between u and v.
+func (s *Space) Dist(u, v int) float64 { return s.D[u][v] }
+
+// Check verifies the metric axioms up to tolerance eps: non-negativity,
+// identity, symmetry, and the triangle inequality. It returns false on the
+// first violation. O(n^3); intended for tests.
+func (s *Space) Check(eps float64) bool {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		if s.D[i][i] != 0 {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if s.D[i][j] < 0 || math.Abs(s.D[i][j]-s.D[j][i]) > eps {
+				return false
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if s.D[i][j] > s.D[i][k]+s.D[k][j]+eps {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Median returns the 1-median of the space under non-negative node weights:
+// the node v minimising sum_u weight[u] * d(v, u), and that minimum value.
+func (s *Space) Median(weight []float64) (int, float64) {
+	best, bestCost := -1, math.Inf(1)
+	for v := 0; v < s.N(); v++ {
+		c := 0.0
+		for u := 0; u < s.N(); u++ {
+			c += weight[u] * s.D[v][u]
+		}
+		if c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	return best, bestCost
+}
+
+// Requests is the per-node request multiset for one object: Count[u] is the
+// number of requests issued at node u (for the radius definitions this is
+// fr(u) + fw(u), since a restricted placement does not differentiate reads
+// from the read-component of writes).
+type Requests struct {
+	Count []int64
+}
+
+// Total returns the total number of requests.
+func (r Requests) Total() int64 {
+	var t int64
+	for _, c := range r.Count {
+		t += c
+	}
+	return t
+}
+
+// Radii holds, for one node v, the quantities defined in Section 2.1.
+type Radii struct {
+	// RW is the write radius rw(v) = d(v, W): the average distance from v
+	// to the W closest requests, W being the total write count.
+	RW float64
+	// RS is the storage radius rs(v) and ZS the storage number zs(v),
+	// chosen such that (zs-1)*rs <= cs(v) < zs*rs and
+	// d(v, zs-1) <= rs < d(v, zs).
+	RS float64
+	ZS int64
+}
+
+// scanner computes d(v, z) for increasing z in O(n log n) per node by
+// sorting nodes by distance from v and walking the request multiset with a
+// running prefix sum.
+type scanner struct {
+	order []int     // nodes sorted by distance from v
+	dists []float64 // distance of order[i] from v
+}
+
+func newScanner(s *Space, v int) *scanner {
+	n := s.N()
+	sc := &scanner{order: make([]int, n), dists: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		sc.order[i] = i
+	}
+	row := s.D[v]
+	sort.SliceStable(sc.order, func(a, b int) bool { return row[sc.order[a]] < row[sc.order[b]] })
+	for i, u := range sc.order {
+		sc.dists[i] = row[u]
+	}
+	return sc
+}
+
+// AvgDist computes d(v, z): the average distance from v to the z distinct
+// requests closest to v. z must satisfy 0 <= z <= total requests; d(v, 0)
+// is defined as 0.
+func AvgDist(s *Space, req Requests, v int, z int64) float64 {
+	if z == 0 {
+		return 0
+	}
+	sc := newScanner(s, v)
+	sum, taken := 0.0, int64(0)
+	for i, u := range sc.order {
+		c := req.Count[u]
+		if c == 0 {
+			continue
+		}
+		take := c
+		if taken+take > z {
+			take = z - taken
+		}
+		sum += float64(take) * sc.dists[i]
+		taken += take
+		if taken == z {
+			return sum / float64(z)
+		}
+	}
+	panic("metric: AvgDist z exceeds total requests")
+}
+
+// ComputeRadii evaluates rw, rs and zs for every node. writes is the total
+// write count W for the object; req is the full request multiset
+// (fr + fw per node); cs is the per-node storage fee.
+//
+// The choice of zs and rs follows the paper exactly: pick zs such that
+// (zs-1) * d(v, zs-1) <= cs(v) < zs * d(v, zs), then pick rs in
+// [d(v, zs-1), d(v, zs)) satisfying (zs-1)*rs <= cs(v) < zs*rs.
+// If no finite zs exists (cs so large that even all requests are too few),
+// zs is set past the total request count and rs to the largest average
+// distance, which makes the node maximally unattractive for extra copies.
+func ComputeRadii(s *Space, req Requests, writes int64, cs []float64) []Radii {
+	n := s.N()
+	total := req.Total()
+	out := make([]Radii, n)
+	for v := 0; v < n; v++ {
+		sc := newScanner(s, v)
+		out[v] = radiiForNode(sc, req, writes, total, cs[v])
+	}
+	return out
+}
+
+// radiiForNode does the per-node scan. It walks requests in ascending
+// distance maintaining z (count so far) and sum (distance mass so far), so
+// d(v, z) = sum / z at every prefix.
+func radiiForNode(sc *scanner, req Requests, writes, total int64, storeCost float64) Radii {
+	var r Radii
+	// Write radius: d(v, W).
+	if writes > 0 {
+		r.RW = avgFromScan(sc, req, writes)
+	}
+	// Storage number: smallest zs with cs < zs * d(v, zs); equivalently walk
+	// z upward until z * d(v,z) exceeds cs.
+	// d(v,z) is nondecreasing in z, so z*d(v,z) is strictly increasing once
+	// d > 0; a linear scan over the distinct distances suffices.
+	// Observe z * d(v, z) = (prefix sum of the z smallest request
+	// distances), so zs is the smallest z whose distance prefix sum
+	// exceeds cs(v).
+	var z int64
+	sum := 0.0
+	found := false
+	for i := 0; i < len(sc.order) && !found; i++ {
+		c := req.Count[sc.order[i]]
+		if c == 0 {
+			continue
+		}
+		d := sc.dists[i]
+		// Requests arrive one at a time at distance d; check the defining
+		// inequality after each. Batch: after taking k of them,
+		// z' = z + k, sum' = sum + k*d, d(v, z') = sum'/z'.
+		// We need the smallest z' with z' * d(v, z') > cs, i.e.
+		// sum + k*d > cs  =>  k > (cs - sum) / d  (d > 0).
+		if d == 0 {
+			z += c
+			continue // z*d(v,z) stays sum; cannot exceed cs yet unless sum>cs
+		}
+		var k int64
+		if sum > storeCost {
+			k = 1
+		} else {
+			k = int64(math.Floor((storeCost-sum)/d)) + 1
+		}
+		if k <= c {
+			z += k
+			sum += float64(k) * d
+			found = true
+			break
+		}
+		z += c
+		sum += float64(c) * d
+	}
+	if !found {
+		// cs(v) >= z * d(v, z) for all feasible z: no finite storage number.
+		// Use zs = total+1 sentinel and rs = d(v, total) so that
+		// 5*rs-style thresholds stay meaningful and maximal.
+		r.ZS = total + 1
+		if total > 0 {
+			r.RS = sum / float64(total)
+		}
+		return r
+	}
+	r.ZS = z
+	// rs in [d(v, zs-1), d(v, zs)) with (zs-1)*rs <= cs < zs*rs.
+	dz := sum / float64(z) // d(v, zs)
+	var dzm float64        // d(v, zs-1)
+	if z > 1 {
+		// recompute d(v, zs-1) from the same scan state: sum excludes the
+		// last request taken, which sat at distance lastD.
+		dzm = avgFromScan(sc, req, z-1)
+	}
+	// Feasible interval for rs: [max(dzm, cs/zs-epsilonish), min(dz, cs/(zs-1))].
+	lo := dzm
+	if z > 0 {
+		if lb := storeCost / float64(z); lb > lo {
+			// need cs < zs*rs, i.e. rs > cs/zs
+			lo = math.Nextafter(lb, math.Inf(1))
+		}
+	}
+	hi := dz
+	if z > 1 {
+		if ub := storeCost / float64(z-1); ub < hi {
+			// need (zs-1)*rs <= cs, i.e. rs <= cs/(zs-1)
+			hi = ub
+		}
+	}
+	if lo > hi {
+		// Numerical corner: collapse to hi (satisfies the paper's intent).
+		lo = hi
+	}
+	r.RS = lo
+	return r
+}
+
+// avgFromScan computes d(v, z) from a prepared scanner.
+func avgFromScan(sc *scanner, req Requests, z int64) float64 {
+	if z == 0 {
+		return 0
+	}
+	sum, taken := 0.0, int64(0)
+	for i, u := range sc.order {
+		c := req.Count[u]
+		if c == 0 {
+			continue
+		}
+		take := c
+		if taken+take > z {
+			take = z - taken
+		}
+		sum += float64(take) * sc.dists[i]
+		taken += take
+		if taken == z {
+			return sum / float64(z)
+		}
+	}
+	panic("metric: avgFromScan z exceeds total requests")
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+)
+
+func randomSetup(rng *rand.Rand, n, objects int) (*core.Instance, core.Placement) {
+	g := gen.ErdosRenyi(n, 0.35, rng, gen.UniformWeights(rng, 1, 5))
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = rng.Float64() * 10
+	}
+	objs := make([]core.Object, objects)
+	for i := range objs {
+		objs[i] = core.Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+		for v := 0; v < n; v++ {
+			objs[i].Reads[v] = rng.Int63n(4)
+			objs[i].Writes[v] = rng.Int63n(3)
+		}
+	}
+	in := core.MustInstance(g, storage, objs)
+	p := core.Placement{Copies: make([][]int, objects)}
+	for i := range p.Copies {
+		k := 1 + rng.Intn(n)
+		set := append([]int(nil), rng.Perm(n)[:k]...)
+		p.Copies[i] = set
+	}
+	return in, p
+}
+
+// TestMeteredEqualsAnalytic is experiment E12's core assertion: replaying
+// the workload message-by-message meters exactly the closed-form cost the
+// optimisation algorithms use.
+func TestMeteredEqualsAnalytic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in, p := randomSetup(rng, 3+rng.Intn(10), 1+rng.Intn(3))
+		sim, err := New(in, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := sim.Run()
+		want := in.Cost(p)
+		if math.Abs(st.Total()-want.Total()) > 1e-6*(1+want.Total()) {
+			t.Fatalf("seed %d: metered %v, analytic %v", seed, st.Total(), want.Total())
+		}
+		if math.Abs(st.StorageCost-want.Storage) > 1e-9 {
+			t.Fatalf("seed %d: storage metered %v, analytic %v", seed, st.StorageCost, want.Storage)
+		}
+		if math.Abs(st.TransmissionCost-(want.Read+want.Update)) > 1e-6*(1+want.Total()) {
+			t.Fatalf("seed %d: transmission metered %v, analytic %v", seed,
+				st.TransmissionCost, want.Read+want.Update)
+		}
+	}
+}
+
+func TestPerEdgeBillSumsToTransmission(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in, p := randomSetup(rng, 9, 2)
+	sim, err := New(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	sum := 0.0
+	for _, c := range st.PerEdge {
+		sum += c
+	}
+	if math.Abs(sum-st.TransmissionCost) > 1e-9 {
+		t.Fatalf("per-edge bill %v != transmission %v", sum, st.TransmissionCost)
+	}
+	if st.Requests == 0 || st.Messages == 0 {
+		t.Fatal("no traffic simulated")
+	}
+}
+
+func TestLocalRequestsAreFree(t *testing.T) {
+	// All requests issued at the copy node: no transmission cost at all.
+	g := gen.Path(4, gen.UnitWeights)
+	storage := []float64{1, 1, 1, 1}
+	obj := core.Object{Reads: []int64{0, 5, 0, 0}, Writes: []int64{0, 3, 0, 0}}
+	in := core.MustInstance(g, storage, []core.Object{obj})
+	p := core.Placement{Copies: [][]int{{1}}}
+	sim, err := New(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	if st.TransmissionCost != 0 {
+		t.Fatalf("transmission %v, want 0", st.TransmissionCost)
+	}
+	if st.StorageCost != 1 {
+		t.Fatalf("storage %v, want 1", st.StorageCost)
+	}
+}
+
+func TestInvalidPlacementRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, _ := randomSetup(rng, 5, 1)
+	if _, err := New(in, core.Placement{Copies: [][]int{{}}}); err == nil {
+		t.Fatal("empty copy set accepted")
+	}
+}
+
+func TestFinalTimeAdvances(t *testing.T) {
+	g := gen.Path(3, gen.UnitWeights)
+	obj := core.Object{Reads: []int64{0, 0, 1}, Writes: []int64{0, 0, 0}}
+	in := core.MustInstance(g, []float64{0, 0, 0}, []core.Object{obj})
+	sim, err := New(in, core.Placement{Copies: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	if st.FinalTime != 2 {
+		t.Fatalf("final time %v, want 2 (two unit hops)", st.FinalTime)
+	}
+	if st.Messages != 2 {
+		t.Fatalf("messages %d, want 2", st.Messages)
+	}
+}

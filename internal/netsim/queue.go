@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QueueConfig enables the finite-bandwidth timing model: messages crossing
+// the same link serialise, so a message's hop time is queueing wait plus
+// size/Bandwidth transfer plus the propagation delay Latency[e].
+type QueueConfig struct {
+	// Bandwidth per edge id (object-size units per time unit). Required.
+	Bandwidth []float64
+	// Latency per edge id (propagation delay). Nil means zero.
+	Latency []float64
+	// Spacing separates consecutive request injections at the same node so
+	// the run models a paced workload instead of a single burst. 0 injects
+	// everything at time 0 (worst-case contention).
+	Spacing float64
+}
+
+// QueueStats extends the fee metering with timing under contention.
+type QueueStats struct {
+	Stats
+	// Completion-time distribution over requests (a write completes when
+	// its last multicast delivery lands).
+	MeanLatency float64
+	P50Latency  float64
+	P95Latency  float64
+	MaxLatency  float64
+	// BusiestEdge is the edge with the largest total busy time, and
+	// BusyTime its utilisation numerator.
+	BusiestEdge int
+	BusyTime    float64
+}
+
+// qevent is an event in the queued simulation; unlike the fee-only run it
+// carries the request identity and injection time.
+type qevent struct {
+	t     float64
+	seq   int64
+	node  int
+	kind  eventKind
+	obj   int
+	req   int
+	start float64
+	route []int
+}
+
+type qeventQueue []qevent
+
+func (q qeventQueue) Len() int { return len(q) }
+func (q qeventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q qeventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *qeventQueue) Push(x interface{}) { *q = append(*q, x.(qevent)) }
+func (q *qeventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// RunQueued replays the workload under the finite-bandwidth model and
+// returns both the fee bill (identical to Run's, by construction) and the
+// latency profile. It must be called on a fresh Simulator.
+func (s *Simulator) RunQueued(qc QueueConfig) (QueueStats, error) {
+	m := s.in.G.M()
+	if len(qc.Bandwidth) != m {
+		return QueueStats{}, fmt.Errorf("netsim: %d bandwidths for %d edges", len(qc.Bandwidth), m)
+	}
+	for id, bw := range qc.Bandwidth {
+		if bw <= 0 {
+			return QueueStats{}, fmt.Errorf("netsim: non-positive bandwidth on edge %d", id)
+		}
+	}
+	if qc.Latency != nil && len(qc.Latency) != m {
+		return QueueStats{}, fmt.Errorf("netsim: %d latencies for %d edges", len(qc.Latency), m)
+	}
+	latency := func(id int) float64 {
+		if qc.Latency == nil {
+			return 0
+		}
+		return qc.Latency[id]
+	}
+
+	nextFree := make([]float64, m)
+	busy := make([]float64, m)
+	completion := map[int]float64{}
+	var q qeventQueue
+	var seq int64
+	push := func(e qevent) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+
+	// Inject all requests, paced per node.
+	reqID := 0
+	nodeClock := make([]float64, s.in.N())
+	for oi := range s.in.Objects {
+		obj := &s.in.Objects[oi]
+		for v := 0; v < s.in.N(); v++ {
+			total := obj.Reads[v] + obj.Writes[v]
+			for k := int64(0); k < total; k++ {
+				write := k >= obj.Reads[v]
+				kind := evDeliverRead
+				if write {
+					kind = evDeliverWriteAccess
+				}
+				t0 := nodeClock[v]
+				nodeClock[v] += qc.Spacing
+				push(qevent{t: t0, node: v, kind: kind, obj: oi, req: reqID,
+					start: t0, route: s.paths[oi][v]})
+				completion[reqID] = t0
+				s.st.Requests++
+				reqID++
+			}
+		}
+	}
+
+	finish := func(e qevent) {
+		if e.t > completion[e.req] {
+			completion[e.req] = e.t
+		}
+	}
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(qevent)
+		if len(e.route) > 1 {
+			u, v := e.route[0], e.route[1]
+			id, ok := s.edgeOf[[2]int{u, v}]
+			if !ok {
+				panic(fmt.Sprintf("netsim: no edge %d-%d on route", u, v))
+			}
+			size := s.in.Objects[e.obj].Scale()
+			fee := s.edgeFee[id] * size
+			s.st.TransmissionCost += fee
+			s.st.PerEdge[id] += fee
+			s.st.Messages++
+			start := math.Max(e.t, nextFree[id])
+			service := size / qc.Bandwidth[id]
+			nextFree[id] = start + service
+			busy[id] += service
+			ne := e
+			ne.t = start + service + latency(id)
+			ne.node = v
+			ne.route = e.route[1:]
+			push(ne)
+			continue
+		}
+		switch e.kind {
+		case evDeliverRead:
+			finish(e)
+		case evDeliverWriteAccess:
+			root := s.p.Copies[e.obj][0]
+			finish(e) // access leg done; multicast may extend it below
+			push(qevent{t: e.t, node: root, kind: evMulticast, obj: e.obj,
+				req: e.req, start: e.start, route: []int{root}})
+		case evMulticast:
+			finish(e)
+			ci := s.copyIdx[e.obj][e.node]
+			for _, path := range s.mcNext[e.obj][ci] {
+				push(qevent{t: e.t, node: e.node, kind: evMulticast, obj: e.obj,
+					req: e.req, start: e.start, route: path})
+			}
+		}
+		if e.t > s.st.FinalTime {
+			s.st.FinalTime = e.t
+		}
+	}
+
+	// Latency distribution: completion minus injection per request.
+	lat := make([]float64, 0, reqID)
+	// Recover injection times: they were the initial completion[] values;
+	// recompute from pacing deterministically.
+	inj := make([]float64, reqID)
+	{
+		id := 0
+		clock := make([]float64, s.in.N())
+		for oi := range s.in.Objects {
+			obj := &s.in.Objects[oi]
+			for v := 0; v < s.in.N(); v++ {
+				total := obj.Reads[v] + obj.Writes[v]
+				for k := int64(0); k < total; k++ {
+					inj[id] = clock[v]
+					clock[v] += qc.Spacing
+					id++
+				}
+			}
+		}
+	}
+	for r := 0; r < reqID; r++ {
+		lat = append(lat, completion[r]-inj[r])
+	}
+	sort.Float64s(lat)
+	out := QueueStats{Stats: s.st, BusiestEdge: -1}
+	if len(lat) > 0 {
+		sum := 0.0
+		for _, l := range lat {
+			sum += l
+		}
+		out.MeanLatency = sum / float64(len(lat))
+		out.P50Latency = lat[len(lat)/2]
+		out.P95Latency = lat[int(float64(len(lat))*0.95)]
+		out.MaxLatency = lat[len(lat)-1]
+	}
+	for id, b := range busy {
+		if b > out.BusyTime {
+			out.BusyTime = b
+			out.BusiestEdge = id
+		}
+	}
+	return out, nil
+}

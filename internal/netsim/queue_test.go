@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+)
+
+func unitBandwidths(m int, bw float64) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = bw
+	}
+	return out
+}
+
+func TestRunQueuedBillsMatchRun(t *testing.T) {
+	// Queueing changes timing, never money: the fee bill must equal the
+	// untimed run's exactly.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in, p := randomSetup(rng, 3+rng.Intn(8), 1+rng.Intn(2))
+		simA, err := New(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := simA.Run()
+		simB, err := New(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued, err := simB.RunQueued(QueueConfig{Bandwidth: unitBandwidths(in.G.M(), 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain.TransmissionCost-queued.TransmissionCost) > 1e-9 {
+			t.Fatalf("seed %d: queued bill %v, plain %v", seed, queued.TransmissionCost, plain.TransmissionCost)
+		}
+		if plain.Messages != queued.Messages {
+			t.Fatalf("seed %d: message counts differ: %d vs %d", seed, plain.Messages, queued.Messages)
+		}
+	}
+}
+
+func TestContentionRaisesLatency(t *testing.T) {
+	// All requests from one node over one link: they serialise, so the max
+	// latency grows with the request count while the mean link is busy the
+	// whole time.
+	g := gen.Path(2, gen.UnitWeights)
+	obj := core.Object{Reads: []int64{0, 50}, Writes: []int64{0, 0}}
+	in := core.MustInstance(g, []float64{0, 0}, []core.Object{obj})
+	sim, err := New(in, core.Placement{Copies: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunQueued(QueueConfig{Bandwidth: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 unit-size transfers over a unit-bandwidth link injected at once:
+	// the k-th finishes at time k.
+	if st.MaxLatency != 50 {
+		t.Fatalf("max latency %v, want 50", st.MaxLatency)
+	}
+	if math.Abs(st.MeanLatency-25.5) > 1e-9 {
+		t.Fatalf("mean latency %v, want 25.5", st.MeanLatency)
+	}
+	if st.BusyTime != 50 {
+		t.Fatalf("busy time %v, want 50", st.BusyTime)
+	}
+}
+
+func TestSpacingRemovesContention(t *testing.T) {
+	g := gen.Path(2, gen.UnitWeights)
+	obj := core.Object{Reads: []int64{0, 50}, Writes: []int64{0, 0}}
+	in := core.MustInstance(g, []float64{0, 0}, []core.Object{obj})
+	sim, err := New(in, core.Placement{Copies: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paced at exactly the service time: no queueing, every latency 1.
+	st, err := sim.RunQueued(QueueConfig{Bandwidth: []float64{1}, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxLatency != 1 || st.MeanLatency != 1 {
+		t.Fatalf("paced latencies mean %v max %v, want 1", st.MeanLatency, st.MaxLatency)
+	}
+}
+
+func TestPropagationLatencyAdds(t *testing.T) {
+	g := gen.Path(3, gen.UnitWeights)
+	obj := core.Object{Reads: []int64{0, 0, 1}, Writes: []int64{0, 0, 0}}
+	in := core.MustInstance(g, []float64{0, 0, 0}, []core.Object{obj})
+	sim, err := New(in, core.Placement{Copies: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunQueued(QueueConfig{
+		Bandwidth: []float64{2, 2},
+		Latency:   []float64{3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two hops: each 0.5 transfer, plus 3 + 4 propagation
+	want := 0.5 + 0.5 + 3 + 4
+	if math.Abs(st.MaxLatency-want) > 1e-9 {
+		t.Fatalf("latency %v, want %v", st.MaxLatency, want)
+	}
+}
+
+func TestRunQueuedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, p := randomSetup(rng, 5, 1)
+	sim, err := New(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunQueued(QueueConfig{Bandwidth: []float64{1}}); err == nil {
+		t.Fatal("short bandwidth vector accepted")
+	}
+	sim2, _ := New(in, p)
+	bad := unitBandwidths(in.G.M(), 1)
+	bad[0] = 0
+	if _, err := sim2.RunQueued(QueueConfig{Bandwidth: bad}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	sim3, _ := New(in, p)
+	if _, err := sim3.RunQueued(QueueConfig{Bandwidth: unitBandwidths(in.G.M(), 1), Latency: []float64{1}}); err == nil {
+		t.Fatal("short latency vector accepted")
+	}
+}
+
+func TestWriteLatencyIncludesMulticast(t *testing.T) {
+	// A write's completion includes the farthest multicast delivery.
+	g := gen.Path(3, gen.UnitWeights)
+	obj := core.Object{Reads: []int64{0, 0, 0}, Writes: []int64{1, 0, 0}}
+	in := core.MustInstance(g, []float64{0, 0, 0}, []core.Object{obj})
+	sim, err := New(in, core.Placement{Copies: [][]int{{0, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunQueued(QueueConfig{Bandwidth: unitBandwidths(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// write at node 0: access leg 0 hops; multicast root 0 -> copy at 2:
+	// two serialised unit transfers = 2.
+	if st.MaxLatency != 2 {
+		t.Fatalf("write latency %v, want 2", st.MaxLatency)
+	}
+}

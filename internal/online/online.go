@@ -1,0 +1,202 @@
+// Package online implements a dynamic (online) data management strategy in
+// the spirit of the paper's related work (Awerbuch–Bartal–Fiat; Maggs et
+// al.'s dynamic tree strategies): requests arrive one by one with no
+// knowledge of future frequencies, and the strategy adapts the copy set by
+// replicating toward read traffic and invalidating replicas that writes
+// make expensive.
+//
+// The paper itself only treats the static problem; this package exists to
+// quantify, in the same cost model, how much the static algorithm's
+// knowledge of frequencies is worth (experiment E13). Costs are accounted
+// exactly as in the static model, with one necessary adaptation: a replica
+// held for only part of the sequence rents its storage pro rata
+// (fee * holding-time / sequence-length), so a strategy that holds a copy
+// throughout pays exactly the static fee.
+package online
+
+import (
+	"math"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+	"netplace/internal/workload"
+)
+
+// Config tunes the counter-based strategy.
+type Config struct {
+	// ReplicateFactor scales the replication threshold: a copy appears at v
+	// once the read traffic from v has paid ReplicateFactor times the
+	// storage fee cs(v). The classic count-to-threshold rule; 0 selects 2.
+	ReplicateFactor float64
+	// DropIdle drops a replica that served no read between two consecutive
+	// writes (keeping at least one copy). Enabled by default semantics:
+	// the zero Config uses true via DefaultConfig.
+	DropIdle bool
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config { return Config{ReplicateFactor: 2, DropIdle: true} }
+
+// Stats aggregates an online run.
+type Stats struct {
+	Transmission float64 // read/write access + multicast fees paid
+	Storage      float64 // pro-rata storage rent
+	Replications int     // copies created
+	Drops        int     // copies invalidated
+	FinalCopies  []int   // copy set at the end of the sequence
+}
+
+// Total returns transmission plus storage cost.
+func (s Stats) Total() float64 { return s.Transmission + s.Storage }
+
+// state tracks one object's copy set.
+type state struct {
+	has       []bool
+	count     int
+	gain      []float64 // accumulated read-distance savings per node
+	idle      []bool    // replica saw no read since the last write
+	heldSteps []float64 // per node, number of steps a copy was held
+}
+
+// Run replays the request sequence against the instance's network with the
+// counter-based dynamic strategy, starting each object at its single best
+// node (the information-free starting point: first requester).
+func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
+	if cfg.ReplicateFactor <= 0 {
+		cfg.ReplicateFactor = 2
+	}
+	dist := in.Dist()
+	n := in.N()
+	states := make([]*state, len(in.Objects))
+
+	var st Stats
+	ensure := func(oi, v int) *state {
+		s := states[oi]
+		if s == nil {
+			s = &state{
+				has:       make([]bool, n),
+				gain:      make([]float64, n),
+				idle:      make([]bool, n),
+				heldSteps: make([]float64, n),
+			}
+			// First touch: the object materialises at its first requester
+			// (no knowledge of the future).
+			s.has[v] = true
+			s.count = 1
+			states[oi] = s
+		}
+		return s
+	}
+
+	steps := float64(len(seq))
+	for _, r := range seq {
+		s := ensure(r.Obj, r.V)
+		size := in.Objects[r.Obj].Scale()
+		// account holding time for every live replica
+		for v := 0; v < n; v++ {
+			if s.has[v] {
+				s.heldSteps[v]++
+			}
+		}
+		// nearest copy
+		best, bestD := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if s.has[v] && dist[r.V][v] < bestD {
+				best, bestD = v, dist[r.V][v]
+			}
+		}
+		st.Transmission += size * bestD
+		if r.Write {
+			// multicast update over the current copies
+			if s.count > 1 {
+				st.Transmission += size * graph.MetricMST(dist, copySet(s))
+			}
+			// invalidate idle replicas (classic write-invalidate pressure)
+			if cfg.DropIdle {
+				for v := 0; v < n; v++ {
+					if s.has[v] && v != best && s.idle[v] && s.count > 1 {
+						s.has[v] = false
+						s.count--
+						st.Drops++
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				s.idle[v] = s.has[v] // becomes non-idle on the next read
+			}
+		} else {
+			s.idle[best] = false
+			// replicate-on-threshold: reads from v accumulate the distance
+			// they would save with a local copy.
+			if bestD > 0 {
+				s.gain[r.V] += size * bestD
+				if s.gain[r.V] >= cfg.ReplicateFactor*size*in.Storage[r.V] {
+					s.has[r.V] = true
+					s.count++
+					s.gain[r.V] = 0
+					s.idle[r.V] = false
+					st.Replications++
+				}
+			}
+		}
+	}
+
+	// pro-rata storage rent + final copy sets
+	for oi, s := range states {
+		if s == nil {
+			continue
+		}
+		size := in.Objects[oi].Scale()
+		for v := 0; v < n; v++ {
+			if s.heldSteps[v] > 0 && steps > 0 {
+				st.Storage += size * in.Storage[v] * s.heldSteps[v] / steps
+			}
+			if s.has[v] {
+				st.FinalCopies = append(st.FinalCopies, v)
+			}
+		}
+	}
+	return st
+}
+
+func copySet(s *state) []int {
+	out := make([]int, 0, s.count)
+	for v, h := range s.has {
+		if h {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StaticCost prices a fixed placement against the same request sequence
+// with identical accounting (per-request transmission, full storage fee),
+// so online and static strategies are directly comparable.
+func StaticCost(in *core.Instance, p core.Placement, seq []workload.Request) float64 {
+	dist := in.Dist()
+	total := 0.0
+	for oi := range in.Objects {
+		size := in.Objects[oi].Scale()
+		for _, c := range p.Copies[oi] {
+			total += size * in.Storage[c]
+		}
+	}
+	mst := make([]float64, len(in.Objects))
+	for oi := range in.Objects {
+		mst[oi] = graph.MetricMST(dist, p.Copies[oi])
+	}
+	for _, r := range seq {
+		size := in.Objects[r.Obj].Scale()
+		best := math.Inf(1)
+		for _, c := range p.Copies[r.Obj] {
+			if d := dist[r.V][c]; d < best {
+				best = d
+			}
+		}
+		total += size * best
+		if r.Write {
+			total += size * mst[r.Obj]
+		}
+	}
+	return total
+}

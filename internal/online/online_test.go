@@ -1,0 +1,129 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+func setup(seed int64, n, objects int, writeFrac float64) (*core.Instance, []workload.Request) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.Build("clustered", n, rng)
+	if err != nil {
+		panic(err)
+	}
+	nn := g.N()
+	storage := make([]float64, nn)
+	for v := range storage {
+		storage[v] = 2 + rng.Float64()*4
+	}
+	objs := workload.Generate(nn, workload.Spec{Objects: objects, MeanRate: 5, WriteFraction: writeFrac, ZipfS: 0.8}, rng)
+	in := core.MustInstance(g, storage, objs)
+	seq := workload.Sequence(objs, 400, rng)
+	return in, seq
+}
+
+func TestOnlineRunsAndPaysSomething(t *testing.T) {
+	in, seq := setup(1, 24, 2, 0.2)
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+	st := Run(in, seq, DefaultConfig())
+	if st.Total() <= 0 || math.IsInf(st.Total(), 0) || math.IsNaN(st.Total()) {
+		t.Fatalf("implausible online cost %v", st.Total())
+	}
+	if len(st.FinalCopies) == 0 {
+		t.Fatal("strategy ended with no copies")
+	}
+}
+
+func TestOnlineReplicatesUnderReadTraffic(t *testing.T) {
+	// Heavy disjoint read clusters: the strategy must create replicas.
+	in, _ := setup(2, 24, 1, 0)
+	rng := rand.New(rand.NewSource(3))
+	seq := workload.Sequence(in.Objects, 600, rng)
+	st := Run(in, seq, DefaultConfig())
+	if st.Replications == 0 {
+		t.Fatal("read-only workload triggered no replication")
+	}
+}
+
+func TestOnlineDropsUnderWritePressure(t *testing.T) {
+	in, _ := setup(4, 24, 1, 0.6)
+	rng := rand.New(rand.NewSource(5))
+	seq := workload.Sequence(in.Objects, 600, rng)
+	st := Run(in, seq, DefaultConfig())
+	if st.Replications > 0 && st.Drops == 0 {
+		t.Fatal("write-heavy workload never invalidated a replica")
+	}
+}
+
+// The static optimum (which knows the frequencies) must not lose badly to
+// the online strategy, and the online strategy must stay within a sane
+// constant of the static algorithm on steady-state workloads.
+func TestOnlineVsStaticCompetitive(t *testing.T) {
+	worst := 0.0
+	for seed := int64(0); seed < 6; seed++ {
+		in, seq := setup(10+seed, 24, 2, 0.25)
+		if len(seq) == 0 {
+			continue
+		}
+		st := Run(in, seq, DefaultConfig())
+		static := StaticCost(in, core.Approximate(in, core.Options{}), seq)
+		if static <= 0 {
+			continue
+		}
+		ratio := st.Total() / static
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 25 {
+			t.Fatalf("seed %d: online/static ratio %.2f implausibly bad", seed, ratio)
+		}
+	}
+	t.Logf("worst online/static ratio: %.3f", worst)
+}
+
+func TestStaticCostMatchesExpectedFrequencies(t *testing.T) {
+	// Pricing the placement against the full expected sequence (every
+	// request exactly as frequent as its table says) must reproduce the
+	// analytic Cost breakdown.
+	in, _ := setup(7, 20, 1, 0.3)
+	var seq []workload.Request
+	obj := &in.Objects[0]
+	for v := 0; v < in.N(); v++ {
+		for k := int64(0); k < obj.Reads[v]; k++ {
+			seq = append(seq, workload.Request{Obj: 0, V: v})
+		}
+		for k := int64(0); k < obj.Writes[v]; k++ {
+			seq = append(seq, workload.Request{Obj: 0, V: v, Write: true})
+		}
+	}
+	p := core.Approximate(in, core.Options{})
+	got := StaticCost(in, p, seq)
+	want := in.Cost(p).Total()
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("sequence pricing %v, analytic %v", got, want)
+	}
+}
+
+func TestSequenceEmpiricalFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 10
+	objs := workload.Uniform(n, 9, 3) // 75% reads
+	seq := workload.Sequence(objs, 6000, rng)
+	writes := 0
+	for _, r := range seq {
+		if r.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(seq))
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("write fraction %v, want ~0.25", frac)
+	}
+}

@@ -1,0 +1,201 @@
+// Package solver computes exact optima of the static data management
+// problem on small arbitrary networks by subset enumeration. It supports
+// both cost accountings:
+//
+//   - the restricted (Section 2) model: reads and write-access messages go
+//     to the nearest copy and updates multicast along a metric-closure MST;
+//   - the unrestricted model: a write at v pays a minimum Steiner tree
+//     spanning the copies and v (the best possible update set).
+//
+// The Steiner weights for every copy set at once come from a single
+// Dreyfus–Wagner table with all nodes as terminals, so enumeration over all
+// 2^n - 1 subsets is O(3^n * n) overall — practical to n ≈ 16.
+//
+// These optima are the comparison points for experiments E1 (Theorem 7's
+// approximation factor) and E8 (Lemma 1's restricted-vs-unrestricted gap).
+package solver
+
+import (
+	"math"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+)
+
+// Exact holds per-object exact solutions.
+type Exact struct {
+	Copies []int
+	Cost   float64
+}
+
+// steinerTable computes dw[mask][v] = weight of a minimum Steiner tree
+// spanning {nodes in mask} ∪ {v} under the dense metric dist.
+func steinerTable(dist [][]float64) [][]float64 {
+	n := len(dist)
+	full := 1<<n - 1
+	dp := make([][]float64, full+1)
+	dp[0] = make([]float64, n) // empty set: zero
+	for i := 0; i < n; i++ {
+		dp[1<<i] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			dp[1<<i][v] = dist[i][v]
+		}
+	}
+	for mask := 1; mask <= full; mask++ {
+		if dp[mask] != nil {
+			continue
+		}
+		dp[mask] = make([]float64, n)
+		row := dp[mask]
+		for v := range row {
+			row[v] = math.Inf(1)
+		}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			if sub < other {
+				continue
+			}
+			a, b := dp[sub], dp[other]
+			for v := 0; v < n; v++ {
+				if c := a[v] + b[v]; c < row[v] {
+					row[v] = c
+				}
+			}
+		}
+		// One metric relaxation pass: dist is a metric closure, so a single
+		// pass through an intermediate point is exact.
+		for v := 0; v < n; v++ {
+			best := row[v]
+			for u := 0; u < n; u++ {
+				if c := row[u] + dist[u][v]; c < best {
+					best = c
+				}
+			}
+			row[v] = best
+		}
+	}
+	return dp
+}
+
+// OptimalRestricted finds, for each object, the copy set minimising the
+// restricted-model cost (core.ObjectCost): storage + nearest-copy reads and
+// write accesses + W * MST(copies).
+func OptimalRestricted(in *core.Instance) []Exact {
+	n := in.N()
+	if n > 20 {
+		panic("solver: instance too large for enumeration")
+	}
+	dist := in.Dist()
+	// Precompute MST weight for every subset incrementally: mst over a
+	// subset is recomputed O(k^2); total sum_k C(n,k) k^2 is fine to n=16.
+	out := make([]Exact, len(in.Objects))
+	subset := make([]int, 0, n)
+	mstCache := make([]float64, 1<<n)
+	for mask := 1; mask < 1<<n; mask++ {
+		subset = subset[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				subset = append(subset, v)
+			}
+		}
+		mstCache[mask] = graph.MetricMST(dist, subset)
+	}
+	for i := range in.Objects {
+		obj := &in.Objects[i]
+		W := float64(obj.TotalWrites())
+		best := math.Inf(1)
+		bestMask := 0
+		for mask := 1; mask < 1<<n; mask++ {
+			c := 0.0
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					c += in.Storage[v]
+				}
+			}
+			if c >= best {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				f := obj.Reads[v] + obj.Writes[v]
+				if f == 0 {
+					continue
+				}
+				nearest := math.Inf(1)
+				for u := 0; u < n; u++ {
+					if mask&(1<<u) != 0 && dist[v][u] < nearest {
+						nearest = dist[v][u]
+					}
+				}
+				c += float64(f) * nearest
+			}
+			c += W * mstCache[mask]
+			if c < best {
+				best = c
+				bestMask = mask
+			}
+		}
+		// Size scales all components identically: the argmin is invariant,
+		// only the bill scales.
+		out[i] = Exact{Copies: maskToSet(bestMask, n), Cost: best * obj.Scale()}
+	}
+	return out
+}
+
+// OptimalUnrestricted finds, for each object, the copy set minimising the
+// unrestricted cost: storage + nearest-copy reads + for each write at v the
+// minimum Steiner tree spanning copies ∪ {v}. This is the strongest
+// adversary consistent with the paper's model (every write uses its own
+// optimal update set).
+func OptimalUnrestricted(in *core.Instance) []Exact {
+	n := in.N()
+	if n > 16 {
+		panic("solver: instance too large for Steiner enumeration")
+	}
+	dist := in.Dist()
+	dw := steinerTable(dist)
+	out := make([]Exact, len(in.Objects))
+	for i := range in.Objects {
+		obj := &in.Objects[i]
+		best := math.Inf(1)
+		bestMask := 0
+		for mask := 1; mask < 1<<n; mask++ {
+			c := 0.0
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					c += in.Storage[v]
+				}
+			}
+			for v := 0; v < n && c < best; v++ {
+				if obj.Reads[v] > 0 {
+					nearest := math.Inf(1)
+					for u := 0; u < n; u++ {
+						if mask&(1<<u) != 0 && dist[v][u] < nearest {
+							nearest = dist[v][u]
+						}
+					}
+					c += float64(obj.Reads[v]) * nearest
+				}
+				if obj.Writes[v] > 0 {
+					// dw[mask][v] spans the copy set ∪ {v} exactly.
+					c += float64(obj.Writes[v]) * dw[mask][v]
+				}
+			}
+			if c < best {
+				best = c
+				bestMask = mask
+			}
+		}
+		out[i] = Exact{Copies: maskToSet(bestMask, n), Cost: best * obj.Scale()}
+	}
+	return out
+}
+
+func maskToSet(mask, n int) []int {
+	var s []int
+	for v := 0; v < n; v++ {
+		if mask&(1<<v) != 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}

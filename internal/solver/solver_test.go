@@ -1,0 +1,121 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/tree"
+)
+
+func randomInstance(rng *rand.Rand, n int, treeOnly bool) *core.Instance {
+	var g = gen.RandomTree(n, rng, gen.UniformWeights(rng, 1, 6))
+	if !treeOnly {
+		g = gen.ErdosRenyi(n, 0.4, rng, gen.UniformWeights(rng, 1, 6))
+	}
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = rng.Float64() * 15
+	}
+	obj := core.Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+	for v := 0; v < n; v++ {
+		obj.Reads[v] = rng.Int63n(8)
+		if rng.Float64() < 0.6 {
+			obj.Writes[v] = rng.Int63n(5)
+		}
+	}
+	return core.MustInstance(g, storage, []core.Object{obj})
+}
+
+func TestOptimalRestrictedMatchesDirectEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		in := randomInstance(rng, n, false)
+		got := OptimalRestricted(in)[0]
+		// direct: reuse core.ObjectCost
+		best := math.Inf(1)
+		set := make([]int, 0, n)
+		for mask := 1; mask < 1<<n; mask++ {
+			set = set[:0]
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if c := in.ObjectCost(&in.Objects[0], set).Total(); c < best {
+				best = c
+			}
+		}
+		if math.Abs(got.Cost-best) > 1e-9 {
+			t.Fatalf("seed %d: OptimalRestricted %v, direct %v", seed, got.Cost, best)
+		}
+		if c := in.ObjectCost(&in.Objects[0], got.Copies).Total(); math.Abs(c-got.Cost) > 1e-9 {
+			t.Fatalf("seed %d: reported copies cost %v, claimed %v", seed, c, got.Cost)
+		}
+	}
+}
+
+// TestUnrestrictedOnTreesMatchesTreeBruteForce: on a tree, the unrestricted
+// model (write pays Steiner(copies ∪ writer)) is exactly the Section 3 tree
+// model, for which the tree package has an independent brute force.
+func TestUnrestrictedOnTreesMatchesTreeBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		in := randomInstance(rng, n, true)
+		obj := &in.Objects[0]
+		got := OptimalUnrestricted(in)[0]
+		_, want := tree.BruteForce(in.G, in.Storage, obj.Reads, obj.Writes)
+		if math.Abs(got.Cost-want) > 1e-9 {
+			t.Fatalf("seed %d: unrestricted %v, tree brute force %v", seed, got.Cost, want)
+		}
+	}
+}
+
+// TestLemma1Gap verifies the restricted optimum is never better than the
+// unrestricted one and, per Lemma 1's bound (C_OPTW <= 4 C_OPT), never more
+// than 4x worse.
+func TestLemma1Gap(t *testing.T) {
+	worst := 1.0
+	for seed := int64(100); seed < 140; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		in := randomInstance(rng, n, false)
+		r := OptimalRestricted(in)[0].Cost
+		u := OptimalUnrestricted(in)[0].Cost
+		if r < u-1e-9 {
+			t.Fatalf("seed %d: restricted optimum %v beats unrestricted %v", seed, r, u)
+		}
+		if u > 0 {
+			ratio := r / u
+			if ratio > worst {
+				worst = ratio
+			}
+			if ratio > 4+1e-9 {
+				t.Fatalf("seed %d: restricted/unrestricted ratio %v exceeds Lemma 1's 4", seed, ratio)
+			}
+		}
+	}
+	t.Logf("worst restricted/unrestricted ratio: %.4f (Lemma 1 bound: 4)", worst)
+}
+
+func TestReadOnlyModelsCoincide(t *testing.T) {
+	// With no writes, both accountings are plain facility location, so the
+	// optima must agree exactly.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		in := randomInstance(rng, n, false)
+		for v := 0; v < n; v++ {
+			in.Objects[0].Writes[v] = 0
+		}
+		r := OptimalRestricted(in)[0].Cost
+		u := OptimalUnrestricted(in)[0].Cost
+		if math.Abs(r-u) > 1e-9 {
+			t.Fatalf("seed %d: read-only optima differ: %v vs %v", seed, r, u)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/gen"
+	"netplace/internal/graph"
+)
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	return gen.ErdosRenyi(n, 0.35, rng, gen.UniformWeights(rng, 1, 10))
+}
+
+func TestExactOnTreeEqualsSubtree(t *testing.T) {
+	// On a tree the minimum Steiner tree is the unique spanning subtree.
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := gen.RandomTree(n, rng, gen.UniformWeights(rng, 1, 5))
+		k := 1 + rng.Intn(minInt(n, 6))
+		terms := rng.Perm(n)[:k]
+		got := Exact(g, terms)
+		want := g.SubtreeSteiner(terms)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: Exact %v, subtree %v (terms %v)", seed, got, want, terms)
+		}
+	}
+}
+
+func TestExactTwoTerminalsIsShortestPath(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := randomConnected(rng, n)
+		dist := g.AllPairs()
+		u, v := rng.Intn(n), rng.Intn(n)
+		got := Exact(g, []int{u, v})
+		if math.Abs(got-dist[u][v]) > 1e-9 {
+			t.Fatalf("seed %d: Exact {%d,%d} = %v, want shortest path %v", seed, u, v, got, dist[u][v])
+		}
+	}
+}
+
+func TestApproxMSTWithinTwiceExact(t *testing.T) {
+	// Claim 2's engine: the metric-closure MST is at most 2x the minimum
+	// Steiner tree, and never below it.
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := randomConnected(rng, n)
+		dist := g.AllPairs()
+		k := 2 + rng.Intn(minInt(n, 7)-1)
+		terms := rng.Perm(n)[:k]
+		mst := ApproxMST(dist, terms)
+		exact := ExactMetric(dist, terms)
+		if mst < exact-1e-9 {
+			t.Fatalf("seed %d: MST %v below Steiner optimum %v", seed, mst, exact)
+		}
+		if mst > 2*exact+1e-9 {
+			t.Fatalf("seed %d: MST %v exceeds 2x Steiner %v", seed, mst, exact)
+		}
+	}
+}
+
+func TestExactMetricMatchesExactOnClosure(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		g := randomConnected(rng, n)
+		dist := g.AllPairs()
+		k := 2 + rng.Intn(minInt(n, 6)-1)
+		terms := rng.Perm(n)[:k]
+		a := Exact(g, terms)
+		b := ExactMetric(dist, terms)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("seed %d: Exact %v != ExactMetric %v", seed, a, b)
+		}
+	}
+}
+
+func TestSteinerBeatsMSTSomewhere(t *testing.T) {
+	// The classic gap instance: a star where only the leaves are terminals.
+	// MST over the leaf metric costs 2*(k-1), Steiner (through the hub)
+	// costs k.
+	k := 6
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	terms := make([]int, k)
+	for i := range terms {
+		terms[i] = i + 1
+	}
+	dist := g.AllPairs()
+	mst := ApproxMST(dist, terms)
+	exact := Exact(g, terms)
+	if exact != float64(k) {
+		t.Fatalf("Steiner %v, want %d", exact, k)
+	}
+	if mst != float64(2*(k-1)) {
+		t.Fatalf("MST %v, want %d", mst, 2*(k-1))
+	}
+}
+
+func TestDegenerateTerminalSets(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if Exact(g, nil) != 0 || Exact(g, []int{1}) != 0 {
+		t.Fatal("0- and 1-terminal Steiner trees must cost 0")
+	}
+	if ApproxMST(g.AllPairs(), []int{2}) != 0 {
+		t.Fatal("singleton MST must cost 0")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

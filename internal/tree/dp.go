@@ -1,0 +1,345 @@
+package tree
+
+import (
+	"math"
+	"sort"
+)
+
+// imTuple is an import placement: the nearest copy inside the subtree sits
+// at distance d from the subtree root and the placement's cost contribution
+// is C; a parent routing R requests into the subtree adds R * d. These are
+// the paper's I_R_v / J_R_v families reparameterised by copy distance — the
+// view Claim 15 itself adopts (one optimal placement per distance value).
+type imTuple struct {
+	C, d float64
+	emit func(out *[]int)
+}
+
+// tables is the sufficient set of one (binarised) subtree.
+type tables struct {
+	i0  []imTuple // no copy outside the subtree exists (paper's I family)
+	i1  []imTuple // a copy exists outside (paper's J family)
+	exp envelope  // export placements over outside distance D (E_D family)
+	// the empty placement (paper's E_v): no copy inside.
+	emptyC float64 // read+write path mass to the subtree root
+	emptyR float64 // number of reads exiting
+	wSub   float64 // total writes inside the subtree
+}
+
+// dpState carries per-object solve context.
+type dpState struct {
+	t       *Tree
+	storage []float64
+	reads   []int64
+	writes  []int64
+	W       float64 // global write count
+	tab     []tables
+}
+
+// Solve computes an optimal placement of a single object with the given
+// read/write frequencies on the tree, returning the copy set (original node
+// ids, ascending) and the optimal total cost in the Section 3 model
+// (reads to nearest copy, a write at v pays the minimal subtree spanning
+// the copies and v, storage fees per copy).
+func (t *Tree) Solve(storage []float64, reads, writes []int64) ([]int, float64) {
+	n := t.G.N()
+	if len(storage) != n || len(reads) != n || len(writes) != n {
+		panic("tree: Solve input length mismatch")
+	}
+	var W float64
+	for _, w := range writes {
+		W += float64(w)
+	}
+	st := &dpState{t: t, storage: storage, reads: reads, writes: writes, W: W,
+		tab: make([]tables, t.BN)}
+	// children-first: bin ids are parent-before-child, so reverse order.
+	for i := t.BN - 1; i >= 0; i-- {
+		st.combine(i)
+	}
+	root := st.tab[0]
+	best := math.Inf(1)
+	var bestEmit func(out *[]int)
+	for _, tp := range root.i0 {
+		if tp.C < best {
+			best = tp.C
+			bestEmit = tp.emit
+		}
+	}
+	if bestEmit == nil {
+		panic("tree: no feasible placement (no storable node)")
+	}
+	var copies []int
+	bestEmit(&copies)
+	sort.Ints(copies)
+	copies = dedupInts(copies)
+	return copies, best
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// node attribute helpers (virtual nodes carry no requests, no storage).
+
+func (st *dpState) fr(b int) float64 {
+	if o := st.t.orig[b]; o >= 0 {
+		return float64(st.reads[o])
+	}
+	return 0
+}
+
+func (st *dpState) fw(b int) float64 {
+	if o := st.t.orig[b]; o >= 0 {
+		return float64(st.writes[o])
+	}
+	return 0
+}
+
+func (st *dpState) storable(b int) bool { return st.t.orig[b] >= 0 }
+
+func (st *dpState) cs(b int) float64 {
+	if o := st.t.orig[b]; o >= 0 {
+		return st.storage[o]
+	}
+	return math.Inf(1)
+}
+
+// topOff prices child c's subtree when every request reaching c's root
+// continues to a copy at distance dc from c's root that lies outside c's
+// subtree (either the parent's copy, a sibling's, or beyond): the child is
+// in export-or-empty mode. Returns the cost contribution including the
+// parent edge's write traffic, and an emit for the chosen child placement.
+func (st *dpState) topOff(c int, dc float64) (float64, func(out *[]int)) {
+	wc := st.t.pw[c]
+	tc := &st.tab[c]
+	// empty child: reads exit paying dc beyond c's root; writes cross the
+	// parent edge only (they stop at the first point of the copy span,
+	// which is at or above the parent).
+	bestC := tc.emptyC + tc.emptyR*dc + tc.wSub*wc
+	var bestEmit func(out *[]int)
+	if len(tc.exp) > 0 {
+		ln, v := tc.exp.evalAt(dc)
+		// non-empty child: the parent edge straddles the copy split.
+		if cand := v + st.W*wc; cand < bestC {
+			bestC = cand
+			bestEmit = func(out *[]int) { ln.emit(dc, out) }
+		}
+	}
+	return bestC, bestEmit
+}
+
+// combine builds the tables of bin node b from its children's tables.
+func (st *dpState) combine(b int) {
+	t := st.t
+	kids := t.children[b]
+	tb := &st.tab[b]
+
+	// Empty placement.
+	tb.emptyC = 0
+	tb.emptyR = st.fr(b)
+	tb.wSub = st.fw(b)
+	for _, c := range kids {
+		tc := &st.tab[c]
+		wc := t.pw[c]
+		tb.emptyC += tc.emptyC + (tc.emptyR+tc.wSub)*wc
+		tb.emptyR += tc.emptyR
+		tb.wSub += tc.wSub
+	}
+
+	// --- Import tuples ---
+	var i0, i1 []imTuple
+
+	// Option A: copy at b itself (shared by I0 and I1).
+	if st.storable(b) {
+		C := st.cs(b)
+		emits := make([]func(out *[]int), 0, len(kids)+1)
+		o := t.orig[b]
+		emits = append(emits, func(out *[]int) { *out = append(*out, o) })
+		ok := true
+		for _, c := range kids {
+			cost, em := st.topOff(c, t.pw[c])
+			if math.IsInf(cost, 1) {
+				ok = false
+				break
+			}
+			C += cost
+			if em != nil {
+				emits = append(emits, em)
+			}
+		}
+		if ok {
+			tp := imTuple{C: C, d: 0, emit: emitAll(emits)}
+			i0 = append(i0, tp)
+			i1 = append(i1, tp)
+		}
+	}
+
+	// Options B/C: the nearest copy lives in child X; sibling Y (if any)
+	// is in export-or-empty mode pointing at that copy.
+	for xi, X := range kids {
+		var Y = -1
+		if len(kids) == 2 {
+			Y = kids[1-xi]
+		}
+		wX := t.pw[X]
+		tX := &st.tab[X]
+
+		// I1 tuples (a copy exists outside Tv, so edge (b, X) straddles).
+		for _, tp := range tX.i1 {
+			d := wX + tp.d
+			C := tp.C + st.W*wX + st.fr(b)*d
+			emits := []func(out *[]int){tp.emit}
+			if Y >= 0 {
+				cost, em := st.topOff(Y, t.pw[Y]+d)
+				if math.IsInf(cost, 1) {
+					continue
+				}
+				C += cost
+				if em != nil {
+					emits = append(emits, em)
+				}
+			}
+			i1 = append(i1, imTuple{C: C, d: d, emit: emitAll(emits)})
+		}
+
+		// I0 tuples (no copy outside Tv).
+		// (i) sibling holds copies too: X sees copies outside itself, the
+		// split straddles both edges.
+		if Y >= 0 && len(st.tab[Y].exp) > 0 {
+			wY := t.pw[Y]
+			tY := &st.tab[Y]
+			for _, tp := range tX.i1 {
+				d := wX + tp.d
+				ln, v := tY.exp.evalAt(wY + d)
+				C := tp.C + st.W*wX + st.fr(b)*d + v + st.W*wY
+				dcY := wY + d
+				lnc := ln
+				i0 = append(i0, imTuple{C: C, d: d, emit: emitAll([]func(out *[]int){
+					tp.emit,
+					func(out *[]int) { lnc.emit(dcY, out) },
+				})})
+			}
+		}
+		// (ii) sibling empty (or absent): all copies live inside X; edge
+		// (b, X) carries the W - W_below(X) writes coming from above.
+		for _, tp := range tX.i0 {
+			d := wX + tp.d
+			C := tp.C + (st.W-tX.wSub)*wX + st.fr(b)*d
+			if Y >= 0 {
+				tY := &st.tab[Y]
+				wY := t.pw[Y]
+				C += tY.emptyC + tY.emptyR*(wY+d) + tY.wSub*wY
+			}
+			i0 = append(i0, imTuple{C: C, d: d, emit: tp.emit})
+		}
+	}
+
+	tb.i0 = paretoTuples(i0)
+	tb.i1 = paretoTuples(i1)
+
+	// --- Export envelope ---
+	var components []envelope
+	// (a) self-contained: the best I1 placement serves everything inside.
+	if len(tb.i1) > 0 {
+		best := tb.i1[0]
+		for _, tp := range tb.i1[1:] {
+			if tp.C < best.C {
+				best = tp
+			}
+		}
+		be := best.emit
+		components = append(components, lineEnv(expLine{
+			C: best.C, nR: 0,
+			emit: func(_ float64, out *[]int) { be(out) },
+		}))
+	}
+	// (b) exporting: every request reaching b leaves the subtree; each
+	// child is independently in export-or-empty mode, at least one child
+	// non-empty (the all-empty case is the Empty placement, kept separate).
+	switch len(kids) {
+	case 1:
+		c := kids[0]
+		if e := envShift(st.tab[c].exp, t.pw[c], st.W*t.pw[c]); len(e) > 0 {
+			components = append(components, envAddSlope(e, st.fr(b)))
+		}
+	case 2:
+		c1, c2 := kids[0], kids[1]
+		e1 := envShift(st.tab[c1].exp, t.pw[c1], st.W*t.pw[c1])
+		e2 := envShift(st.tab[c2].exp, t.pw[c2], st.W*t.pw[c2])
+		l1 := lineEnv(st.emptyLineAtParent(c1))
+		l2 := lineEnv(st.emptyLineAtParent(c2))
+		var combo envelope
+		if len(e1) > 0 && len(e2) > 0 {
+			combo = envMin(combo, envSum(e1, e2))
+		}
+		if len(e1) > 0 {
+			combo = envMin(combo, envSum(e1, l2))
+		}
+		if len(e2) > 0 {
+			combo = envMin(combo, envSum(l1, e2))
+		}
+		if len(combo) > 0 {
+			components = append(components, envAddSlope(combo, st.fr(b)))
+		}
+	}
+	var exp envelope
+	for _, comp := range components {
+		exp = envMin(exp, comp)
+	}
+	tb.exp = exp
+}
+
+// emptyLineAtParent prices child c's empty placement as a line over the
+// parent-scale distance D: exiting reads pay the child edge plus D; the
+// child's writes pay the child edge and stop (the copy span passes through
+// the parent in every export context).
+func (st *dpState) emptyLineAtParent(c int) expLine {
+	tc := &st.tab[c]
+	wc := st.t.pw[c]
+	return expLine{
+		C:    tc.emptyC + tc.emptyR*wc + tc.wSub*wc,
+		nR:   tc.emptyR,
+		emit: func(_ float64, _ *[]int) {},
+	}
+}
+
+func emitAll(fns []func(out *[]int)) func(out *[]int) {
+	return func(out *[]int) {
+		for _, f := range fns {
+			if f != nil {
+				f(out)
+			}
+		}
+	}
+}
+
+// paretoTuples sorts import tuples by distance and removes dominated ones
+// (same or larger distance with same or larger cost); the survivors have
+// strictly increasing d and strictly decreasing C.
+func paretoTuples(ts []imTuple) []imTuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	sort.SliceStable(ts, func(a, b int) bool {
+		if ts[a].d != ts[b].d {
+			return ts[a].d < ts[b].d
+		}
+		return ts[a].C < ts[b].C
+	})
+	out := ts[:0]
+	for _, tp := range ts {
+		if len(out) == 0 || tp.C < out[len(out)-1].C {
+			if len(out) > 0 && tp.d == out[len(out)-1].d {
+				continue // same distance, larger C already filtered by sort
+			}
+			out = append(out, tp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/gen"
+	"netplace/internal/graph"
+)
+
+// randomInstance builds a random tree with random integer-ish weights,
+// storage fees, and frequencies. Integer-valued floats keep envelope
+// arithmetic exact so brute-force comparisons can use tight tolerances.
+func randomInstance(rng *rand.Rand, n int, maxF int64, writeP float64) (*graph.Graph, []float64, []int64, []int64) {
+	w := func(u, v int) float64 { return float64(1 + rng.Intn(9)) }
+	var g *graph.Graph
+	switch rng.Intn(4) {
+	case 0:
+		g = gen.Path(n, w)
+	case 1:
+		g = gen.Star(n, w)
+	case 2:
+		g = gen.KaryTree(n, 1+rng.Intn(3), w)
+	default:
+		g = gen.RandomTree(n, rng, w)
+	}
+	storage := make([]float64, n)
+	reads := make([]int64, n)
+	writes := make([]int64, n)
+	for v := 0; v < n; v++ {
+		storage[v] = float64(rng.Intn(40))
+		if rng.Float64() < 0.8 {
+			reads[v] = rng.Int63n(maxF)
+		}
+		if rng.Float64() < writeP {
+			writes[v] = rng.Int63n(maxF)
+		}
+	}
+	return g, storage, reads, writes
+}
+
+func solveAndCheck(t *testing.T, g *graph.Graph, storage []float64, reads, writes []int64, seed int64) {
+	t.Helper()
+	tr := Build(g, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("seed %d: invalid binarisation: %v", seed, err)
+	}
+	copies, got := tr.Solve(storage, reads, writes)
+	if len(copies) == 0 {
+		t.Fatalf("seed %d: empty placement", seed)
+	}
+	// The DP's claimed cost must match an independent evaluation of the
+	// placement it reconstructs ...
+	eval := ObjectCost(g, storage, reads, writes, copies)
+	if !close(eval, got, 1e-6) {
+		t.Fatalf("seed %d: DP cost %v but reconstructed placement costs %v (copies %v)", seed, got, eval, copies)
+	}
+	// ... and must equal the brute-force optimum.
+	_, want := BruteForce(g, storage, reads, writes)
+	if !close(got, want, 1e-6) {
+		t.Fatalf("seed %d: DP cost %v, brute force %v (copies %v)", seed, got, want, copies)
+	}
+}
+
+func close(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	return d <= eps || d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSolveMatchesBruteForceReadOnly(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		g, storage, reads, writes := randomInstance(rng, n, 12, 0)
+		_ = writes
+		solveAndCheck(t, g, storage, reads, make([]int64, n), seed)
+	}
+}
+
+func TestSolveMatchesBruteForceGeneral(t *testing.T) {
+	for seed := int64(1000); seed < 1150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		g, storage, reads, writes := randomInstance(rng, n, 12, 0.6)
+		solveAndCheck(t, g, storage, reads, writes, seed)
+	}
+}
+
+func TestSolveMatchesBruteForceWriteHeavy(t *testing.T) {
+	for seed := int64(2000); seed < 2100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g, storage, reads, writes := randomInstance(rng, n, 20, 1.0)
+		for v := range reads {
+			reads[v] = 0 // pure-write instances
+		}
+		solveAndCheck(t, g, storage, reads, writes, seed)
+	}
+}
+
+func TestSolveSingleNode(t *testing.T) {
+	g := graph.New(1)
+	copies, cost := Build(g, 0).Solve([]float64{7}, []int64{5}, []int64{3})
+	if len(copies) != 1 || copies[0] != 0 {
+		t.Fatalf("copies = %v", copies)
+	}
+	if cost != 7 {
+		t.Fatalf("cost = %v, want 7 (storage only)", cost)
+	}
+}
+
+func TestSolveZeroRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.RandomTree(9, rng, gen.UnitWeights)
+	storage := []float64{5, 3, 9, 1, 4, 8, 2, 6, 7}
+	copies, cost := Build(g, 0).Solve(storage, make([]int64, 9), make([]int64, 9))
+	if cost != 1 {
+		t.Fatalf("cost = %v, want cheapest storage 1", cost)
+	}
+	if len(copies) != 1 || copies[0] != 3 {
+		t.Fatalf("copies = %v, want [3]", copies)
+	}
+}
+
+func TestEdgeLocalWriteAccountingMatchesSteiner(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g, storage, reads, writes := randomInstance(rng, n, 15, 0.8)
+		// random non-empty copy set
+		k := 1 + rng.Intn(n)
+		perm := rng.Perm(n)[:k]
+		a := ObjectCost(g, storage, reads, writes, perm)
+		b := ObjectCostSteiner(g, storage, reads, writes, perm)
+		if !close(a, b, 1e-9) {
+			t.Fatalf("seed %d: edge-local %v != steiner %v (copies %v)", seed, a, b, perm)
+		}
+	}
+}
+
+func TestBinarisationShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.Star(50, gen.UniformWeights(rng, 1, 2))
+	tr := Build(g, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.BN < 50 {
+		t.Fatalf("binarised node count %d < original 50", tr.BN)
+	}
+	// Balanced gadget: depth of the binarised star should be O(log 49).
+	depth := make([]int, tr.BN)
+	maxDepth := 0
+	for b := 1; b < tr.BN; b++ {
+		depth[b] = depth[tr.parent[b]] + 1
+		if depth[b] > maxDepth {
+			maxDepth = depth[b]
+		}
+	}
+	if maxDepth > 10 {
+		t.Fatalf("binarised star depth %d, want O(log n)", maxDepth)
+	}
+}
+
+func TestSolveWithZeroWeightEdges(t *testing.T) {
+	// Zero-cost edges create massive distance ties — the worst case for
+	// envelope breakpoint handling. Cross-check against brute force.
+	for seed := int64(5000); seed < 5080; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := graph.New(n)
+		for v := 1; v < n; v++ {
+			w := float64(rng.Intn(3)) // weight 0, 1 or 2
+			g.AddEdge(rng.Intn(v), v, w)
+		}
+		storage := make([]float64, n)
+		reads := make([]int64, n)
+		writes := make([]int64, n)
+		for v := 0; v < n; v++ {
+			storage[v] = float64(rng.Intn(10))
+			reads[v] = rng.Int63n(6)
+			writes[v] = rng.Int63n(4)
+		}
+		solveAndCheck(t, g, storage, reads, writes, seed)
+	}
+}
+
+func TestSolveWithIdenticalStorage(t *testing.T) {
+	// All-equal storage fees and unit edges: heavy cost ties everywhere.
+	for seed := int64(6000); seed < 6060; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		g := gen.RandomTree(n, rng, gen.UnitWeights)
+		storage := make([]float64, n)
+		reads := make([]int64, n)
+		writes := make([]int64, n)
+		for v := 0; v < n; v++ {
+			storage[v] = 3
+			reads[v] = rng.Int63n(4)
+			writes[v] = rng.Int63n(3)
+		}
+		solveAndCheck(t, g, storage, reads, writes, seed)
+	}
+}
+
+func TestSolveHugeFrequencies(t *testing.T) {
+	// Large int64 frequencies must not lose precision in float envelopes.
+	rng := rand.New(rand.NewSource(77))
+	n := 8
+	g := gen.RandomTree(n, rng, gen.UniformWeights(rng, 1, 4))
+	storage := make([]float64, n)
+	reads := make([]int64, n)
+	writes := make([]int64, n)
+	for v := 0; v < n; v++ {
+		storage[v] = 1e6 * rng.Float64()
+		reads[v] = rng.Int63n(1 << 30)
+		writes[v] = rng.Int63n(1 << 20)
+	}
+	tr := Build(g, 0)
+	copies, got := tr.Solve(storage, reads, writes)
+	eval := ObjectCost(g, storage, reads, writes, copies)
+	if !close(eval, got, 1e-9) {
+		t.Fatalf("DP %v vs evaluated %v", got, eval)
+	}
+	_, want := BruteForce(g, storage, reads, writes)
+	if !close(got, want, 1e-9) {
+		t.Fatalf("DP %v vs brute force %v", got, want)
+	}
+}

@@ -1,0 +1,260 @@
+package tree
+
+import (
+	"math"
+	"sort"
+)
+
+// expLine is one export placement family member: exporting nR requests out
+// of the subtree costs C + nR * D when the nearest outside copy is at
+// distance D from the subtree root. emit appends the copy nodes of the
+// underlying placement; it receives the D the line is used at so nested
+// export choices can resolve their own optimality intervals.
+type expLine struct {
+	C    float64
+	nR   float64
+	emit func(D float64, out *[]int)
+}
+
+// seg is an envelope segment: ln is optimal for D in [from, next seg's
+// from). Envelopes are concave piecewise-linear functions represented as
+// segments with strictly decreasing slopes, exactly the paper's sorted
+// sequences of export tuples with optimality intervals.
+type seg struct {
+	from float64
+	ln   expLine
+}
+
+// envelope invariants: segs sorted by from ascending, first from == 0,
+// slopes strictly decreasing.
+type envelope []seg
+
+// evalAt returns the optimal line and value at distance D.
+func (e envelope) evalAt(D float64) (expLine, float64) {
+	if len(e) == 0 {
+		return expLine{}, math.Inf(1)
+	}
+	// binary search: last segment with from <= D
+	lo, hi := 0, len(e)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e[mid].from <= D {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ln := e[lo].ln
+	return ln, ln.C + ln.nR*D
+}
+
+// envFromLines builds the lower envelope of a set of lines over D >= 0.
+func envFromLines(lines []expLine) envelope {
+	if len(lines) == 0 {
+		return nil
+	}
+	// Sort by slope descending; ties keep smaller C.
+	sort.SliceStable(lines, func(a, b int) bool {
+		if lines[a].nR != lines[b].nR {
+			return lines[a].nR > lines[b].nR
+		}
+		return lines[a].C < lines[b].C
+	})
+	var st []seg
+	for _, l := range lines {
+		if len(st) > 0 && st[len(st)-1].ln.nR == l.nR {
+			continue // duplicate slope, worse or equal C
+		}
+		for len(st) > 0 {
+			t := st[len(st)-1]
+			// Crossing of t.ln and l: t has larger slope, so l wins beyond x.
+			x := (l.C - t.ln.C) / (t.ln.nR - l.nR)
+			if x <= t.from {
+				st = st[:len(st)-1] // t never optimal
+				continue
+			}
+			st = append(st, seg{from: x, ln: l})
+			break
+		}
+		if len(st) == 0 {
+			st = append(st, seg{from: 0, ln: l})
+		}
+	}
+	return st
+}
+
+// envSum adds two envelopes pointwise (both must be non-empty); the result
+// is again concave with breakpoints from both inputs. Line emits compose.
+func envSum(a, b envelope) envelope {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out envelope
+	i, j := 0, 0
+	from := 0.0
+	for {
+		la, lb := a[i].ln, b[j].ln
+		sum := expLine{C: la.C + lb.C, nR: la.nR + lb.nR, emit: emitBoth(la.emit, lb.emit)}
+		out = append(out, seg{from: from, ln: sum})
+		// advance to the next breakpoint
+		nextA, nextB := math.Inf(1), math.Inf(1)
+		if i+1 < len(a) {
+			nextA = a[i+1].from
+		}
+		if j+1 < len(b) {
+			nextB = b[j+1].from
+		}
+		next := math.Min(nextA, nextB)
+		if math.IsInf(next, 1) {
+			break
+		}
+		if nextA == next {
+			i++
+		}
+		if nextB == next {
+			j++
+		}
+		from = next
+	}
+	return out
+}
+
+func emitBoth(a, b func(float64, *[]int)) func(float64, *[]int) {
+	return func(D float64, out *[]int) {
+		if a != nil {
+			a(D, out)
+		}
+		if b != nil {
+			b(D, out)
+		}
+	}
+}
+
+// envShift re-parameterises an envelope from the child's distance scale to
+// the parent's: the child sees distance D + w when the parent sees D, and
+// extraC is added to every line (e.g. the straddling edge's write cost).
+// Line emits receive the child-scale distance.
+func envShift(a envelope, w, extraC float64) envelope {
+	if len(a) == 0 {
+		return nil
+	}
+	// find the segment active at child-distance w
+	idx := 0
+	for idx+1 < len(a) && a[idx+1].from <= w {
+		idx++
+	}
+	out := make(envelope, 0, len(a)-idx)
+	for k := idx; k < len(a); k++ {
+		s := a[k]
+		nf := s.from - w
+		if nf < 0 {
+			nf = 0
+		}
+		child := s.ln
+		out = append(out, seg{
+			from: nf,
+			ln: expLine{
+				C:  child.C + child.nR*w + extraC,
+				nR: child.nR,
+				emit: func(D float64, o *[]int) {
+					child.emit(D+w, o)
+				},
+			},
+		})
+	}
+	return out
+}
+
+// envMin takes the pointwise minimum of two envelopes (either may be nil,
+// meaning +infinity). Minimum of concave functions is concave.
+func envMin(a, b envelope) envelope {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	// Collect candidate breakpoints: all froms plus crossings within
+	// overlapping intervals; then rebuild by evaluating both.
+	var cuts []float64
+	for _, s := range a {
+		cuts = append(cuts, s.from)
+	}
+	for _, s := range b {
+		cuts = append(cuts, s.from)
+	}
+	// crossings
+	i, j := 0, 0
+	from := 0.0
+	for {
+		la, lb := a[i].ln, b[j].ln
+		if la.nR != lb.nR {
+			x := (lb.C - la.C) / (la.nR - lb.nR)
+			if x > from {
+				cuts = append(cuts, x)
+			}
+		}
+		nextA, nextB := math.Inf(1), math.Inf(1)
+		if i+1 < len(a) {
+			nextA = a[i+1].from
+		}
+		if j+1 < len(b) {
+			nextB = b[j+1].from
+		}
+		next := math.Min(nextA, nextB)
+		if math.IsInf(next, 1) {
+			break
+		}
+		if nextA == next {
+			i++
+		}
+		if nextB == next {
+			j++
+		}
+		from = next
+	}
+	sort.Float64s(cuts)
+	// de-duplicate cuts
+	uniq := cuts[:0]
+	for k, c := range cuts {
+		if k == 0 || c > uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	var out envelope
+	for k, c := range uniq {
+		// Pick the winner strictly inside the interval [c, next): at the
+		// cut itself (a crossing) the two values tie and floating rounding
+		// could select the line that loses immediately after.
+		mid := c + 1
+		if k+1 < len(uniq) {
+			mid = c + (uniq[k+1]-c)/2
+		}
+		la, va := a.evalAt(mid)
+		lb, vb := b.evalAt(mid)
+		var win expLine
+		if va < vb || (va == vb && la.nR <= lb.nR) {
+			win = la
+		} else {
+			win = lb
+		}
+		if len(out) > 0 && out[len(out)-1].ln.nR == win.nR && out[len(out)-1].ln.C == win.C {
+			continue // same line continues
+		}
+		out = append(out, seg{from: c, ln: win})
+	}
+	return out
+}
+
+// envAddSlope adds extra slope (requests exiting per unit of D) to every
+// line of the envelope; breakpoints are unchanged.
+func envAddSlope(a envelope, slope float64) envelope {
+	out := make(envelope, len(a))
+	for i, s := range a {
+		out[i] = seg{from: s.from, ln: expLine{C: s.ln.C, nR: s.ln.nR + slope, emit: s.ln.emit}}
+	}
+	return out
+}
+
+// lineEnv wraps a single line as an envelope.
+func lineEnv(l expLine) envelope { return envelope{{from: 0, ln: l}} }

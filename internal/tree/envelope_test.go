@@ -1,0 +1,213 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveEval evaluates a raw line set at D.
+func naiveEval(lines []expLine, D float64) float64 {
+	best := math.Inf(1)
+	for _, l := range lines {
+		if v := l.C + l.nR*D; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func randomLines(rng *rand.Rand, k int) []expLine {
+	lines := make([]expLine, k)
+	for i := range lines {
+		lines[i] = expLine{
+			C:    float64(rng.Intn(200)),
+			nR:   float64(rng.Intn(20)),
+			emit: func(float64, *[]int) {},
+		}
+	}
+	return lines
+}
+
+var sampleDs = []float64{0, 0.25, 0.5, 1, 2, 3.75, 5, 8, 13, 21, 100, 1e4}
+
+func TestEnvFromLinesMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lines := randomLines(rng, 1+rng.Intn(12))
+		env := envFromLines(append([]expLine(nil), lines...))
+		for _, D := range sampleDs {
+			_, got := env.evalAt(D)
+			want := naiveEval(lines, D)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: env(%v) = %v, want %v", seed, D, got, want)
+			}
+		}
+	}
+}
+
+func TestEnvelopeInvariants(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := envFromLines(randomLines(rng, 1+rng.Intn(15)))
+		if len(env) == 0 {
+			return false
+		}
+		if env[0].from != 0 {
+			return false
+		}
+		for i := 1; i < len(env); i++ {
+			// froms strictly increasing, slopes strictly decreasing
+			if env[i].from <= env[i-1].from {
+				return false
+			}
+			if env[i].ln.nR >= env[i-1].ln.nR {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvSumMatchesPointwiseSum(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		la := randomLines(rng, 1+rng.Intn(8))
+		lb := randomLines(rng, 1+rng.Intn(8))
+		a := envFromLines(append([]expLine(nil), la...))
+		b := envFromLines(append([]expLine(nil), lb...))
+		sum := envSum(a, b)
+		for _, D := range sampleDs {
+			_, got := sum.evalAt(D)
+			want := naiveEval(la, D) + naiveEval(lb, D)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: sum(%v) = %v, want %v", seed, D, got, want)
+			}
+		}
+	}
+}
+
+func TestEnvMinMatchesPointwiseMin(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		la := randomLines(rng, 1+rng.Intn(8))
+		lb := randomLines(rng, 1+rng.Intn(8))
+		a := envFromLines(append([]expLine(nil), la...))
+		b := envFromLines(append([]expLine(nil), lb...))
+		m := envMin(a, b)
+		for _, D := range sampleDs {
+			_, got := m.evalAt(D)
+			want := math.Min(naiveEval(la, D), naiveEval(lb, D))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: min(%v) = %v, want %v", seed, D, got, want)
+			}
+		}
+	}
+}
+
+func TestEnvShiftReparameterises(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lines := randomLines(rng, 1+rng.Intn(8))
+		env := envFromLines(append([]expLine(nil), lines...))
+		w := float64(rng.Intn(10))
+		extra := float64(rng.Intn(50))
+		shifted := envShift(env, w, extra)
+		for _, D := range sampleDs {
+			_, got := shifted.evalAt(D)
+			want := naiveEval(lines, D+w) + extra
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: shift(%v) = %v, want %v (w=%v extra=%v)", seed, D, got, want, w, extra)
+			}
+		}
+	}
+}
+
+func TestEnvAddSlope(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lines := randomLines(rng, 1+rng.Intn(8))
+		env := envFromLines(append([]expLine(nil), lines...))
+		s := float64(rng.Intn(9))
+		bumped := envAddSlope(env, s)
+		for _, D := range sampleDs {
+			_, got := bumped.evalAt(D)
+			want := naiveEval(lines, D) + s*D
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("seed %d: addSlope(%v) = %v, want %v", seed, D, got, want)
+			}
+		}
+	}
+}
+
+func TestEnvMinWithEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	env := envFromLines(randomLines(rng, 4))
+	if got := envMin(nil, env); len(got) != len(env) {
+		t.Fatal("min with empty lost the envelope")
+	}
+	if got := envMin(env, nil); len(got) != len(env) {
+		t.Fatal("min with empty lost the envelope (right)")
+	}
+	if got := envMin(nil, nil); got != nil {
+		t.Fatal("min of empties not empty")
+	}
+	if _, v := envelope(nil).evalAt(3); !math.IsInf(v, 1) {
+		t.Fatal("empty envelope must evaluate to +Inf")
+	}
+}
+
+func TestParetoTuplesDomination(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(20)
+		in := make([]imTuple, k)
+		for i := range in {
+			in[i] = imTuple{C: float64(rng.Intn(50)), d: float64(rng.Intn(20)), emit: func(*[]int) {}}
+		}
+		out := paretoTuples(append([]imTuple(nil), in...))
+		// survivors: strictly increasing d, strictly decreasing C
+		for i := 1; i < len(out); i++ {
+			if out[i].d <= out[i-1].d || out[i].C >= out[i-1].C {
+				return false
+			}
+		}
+		// every input tuple is dominated by (or equal to) some survivor
+		for _, tp := range in {
+			ok := false
+			for _, s := range out {
+				if s.d <= tp.d && s.C <= tp.C {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The DP's answer must not depend on the root chosen for the traversal.
+func TestSolveRootInvariance(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g, storage, reads, writes := randomInstance(rng, n, 10, 0.5)
+		_, want := Build(g, 0).Solve(storage, reads, writes)
+		for root := 1; root < n; root += 1 + n/4 {
+			_, got := Build(g, root).Solve(storage, reads, writes)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("seed %d: root %d gives %v, root 0 gives %v", seed, root, got, want)
+			}
+		}
+	}
+}

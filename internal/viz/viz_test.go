@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netplace/internal/gen"
+	"netplace/internal/graph"
+)
+
+func TestWriteDotStructure(t *testing.T) {
+	g := gen.Path(4, gen.UnitWeights)
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, g, DotOptions{Copies: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph \"netplace\" {",
+		"n0 --", "n2 [label=\"2\" style=filled",
+		"label=\"1\"", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// every node and edge present
+	if strings.Count(out, " -- ") != g.M() {
+		t.Fatalf("edge count mismatch: %d lines, %d edges", strings.Count(out, " -- "), g.M())
+	}
+}
+
+func TestWriteDotCustomLabels(t *testing.T) {
+	g := gen.Path(3, gen.UnitWeights)
+	var buf bytes.Buffer
+	err := WriteDot(&buf, g, DotOptions{
+		Name:      "custom",
+		NodeLabel: func(v int) string { return "N" + string(rune('A'+v)) },
+		EdgeLabel: func(e graph.Edge) string { return "x" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NA") || !strings.Contains(out, `label="x"`) || !strings.Contains(out, `graph "custom"`) {
+		t.Fatalf("custom labels not applied:\n%s", out)
+	}
+}
+
+func TestGridRendering(t *testing.T) {
+	out := Grid(2, 3, []int{0, 5})
+	want := "# . .\n. . #\n"
+	if out != want {
+		t.Fatalf("grid = %q, want %q", out, want)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(2, 4, 1)
+	out := Tree(g, 0, []int{2})
+	if !strings.Contains(out, "2 (ct 3) *") {
+		t.Fatalf("copy star missing:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "0\n") {
+		t.Fatalf("root line wrong:\n%s", out)
+	}
+	for v := 0; v < 5; v++ {
+		if !strings.Contains(out, "1 (ct 2)") {
+			t.Fatalf("node rendering missing:\n%s", out)
+		}
+	}
+	// leaves use the corner connector
+	if !strings.Contains(out, "└─") || !strings.Contains(out, "├─") {
+		t.Fatalf("connectors missing:\n%s", out)
+	}
+}
+
+func TestPlacementSummary(t *testing.T) {
+	out := PlacementSummary([]string{"alpha", ""}, [][]int{{1, 2}, {0}})
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "object-1") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2 copies at [1 2]") {
+		t.Fatalf("copy listing wrong:\n%s", out)
+	}
+}

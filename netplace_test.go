@@ -1,0 +1,177 @@
+package netplace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netplace/internal/gen"
+	"netplace/internal/tree"
+	"netplace/internal/workload"
+)
+
+func exampleInstance(t *testing.T, treeTopo bool, seed int64) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo := "clustered"
+	if treeTopo {
+		topo = "random-tree"
+	}
+	g, err := gen.Build(topo, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 1 + rng.Float64()*5
+	}
+	objs := workload.Generate(n, workload.Spec{Objects: 2, MeanRate: 4, WriteFraction: 0.25, ZipfS: 0.7}, rng)
+	in, err := NewInstance(g, storage, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := exampleInstance(t, false, 1)
+	p := Solve(in)
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	b := Cost(in, p)
+	if b.Total() <= 0 || math.IsInf(b.Total(), 0) {
+		t.Fatalf("implausible cost %v", b)
+	}
+	// The algorithm must beat naive full replication on a write-bearing
+	// clustered workload.
+	if fr := Cost(in, FullReplication(in)); fr.Total() < b.Total() {
+		t.Fatalf("full replication (%v) beat the algorithm (%v)", fr.Total(), b.Total())
+	}
+}
+
+func TestSolveTreeEndToEnd(t *testing.T) {
+	in := exampleInstance(t, true, 2)
+	p, err := SolveTree(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	optCost, err := TreeCost(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact optimum must not lose to any baseline under the tree model.
+	for name, bp := range map[string]Placement{
+		"single-best": SingleBest(in),
+		"full-repl":   FullReplication(in),
+		"greedy":      GreedyAdd(in),
+	} {
+		c, err := TreeCost(in, bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < optCost-1e-9 {
+			t.Fatalf("%s cost %v beats tree optimum %v", name, c, optCost)
+		}
+	}
+}
+
+func TestSolveTreeRejectsNonTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.Ring(12, gen.UnitWeights)
+	storage := make([]float64, 12)
+	objs := workload.Generate(12, workload.Spec{Objects: 1, MeanRate: 3}, rng)
+	in, err := NewInstance(g, storage, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveTree(in); err == nil {
+		t.Fatal("non-tree accepted")
+	}
+	if _, err := TreeCost(in, SingleBest(in)); err == nil {
+		t.Fatal("non-tree accepted by TreeCost")
+	}
+}
+
+func TestSimulateMatchesCost(t *testing.T) {
+	in := exampleInstance(t, false, 4)
+	p := Solve(in)
+	st, err := Simulate(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cost(in, p).Total()
+	if math.Abs(st.Total()-want) > 1e-6*(1+want) {
+		t.Fatalf("simulated %v, analytic %v", st.Total(), want)
+	}
+}
+
+func TestFacilitySolversExposed(t *testing.T) {
+	in := exampleInstance(t, false, 5)
+	solvers := FacilitySolvers()
+	for _, name := range []string{"local-search", "jain-vazirani", "mettu-plaxton"} {
+		fl, ok := solvers[name]
+		if !ok {
+			t.Fatalf("missing solver %q", name)
+		}
+		p := SolveWithOptions(in, Options{FL: fl})
+		if err := p.Validate(in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacilityOnlyBaseline(t *testing.T) {
+	in := exampleInstance(t, false, 6)
+	p := FacilityOnly(in)
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineFacade(t *testing.T) {
+	in := exampleInstance(t, false, 9)
+	rng := rand.New(rand.NewSource(4))
+	seq := DrawSequence(in, 300, rng)
+	if len(seq) != 300 {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	st := SolveOnline(in, seq)
+	if st.Total() <= 0 {
+		t.Fatalf("online cost %v", st.Total())
+	}
+	static := SequenceCost(in, Solve(in), seq)
+	if static <= 0 {
+		t.Fatalf("static sequence cost %v", static)
+	}
+	if st.Total() > 30*static {
+		t.Fatalf("online %v implausibly worse than static %v", st.Total(), static)
+	}
+}
+
+func TestSolveTreeParallelConsistency(t *testing.T) {
+	// SolveTree fans objects over goroutines; per-object results must match
+	// a direct sequential solve.
+	in := exampleInstance(t, true, 12)
+	p, err := SolveTree(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(in.G, 0)
+	for i := range in.Objects {
+		obj := &in.Objects[i]
+		want, _ := tr.Solve(in.Storage, obj.Reads, obj.Writes)
+		if len(want) != len(p.Copies[i]) {
+			t.Fatalf("object %d: parallel %v vs sequential %v", i, p.Copies[i], want)
+		}
+		for k := range want {
+			if want[k] != p.Copies[i][k] {
+				t.Fatalf("object %d: parallel %v vs sequential %v", i, p.Copies[i], want)
+			}
+		}
+	}
+}
