@@ -13,6 +13,7 @@ import (
 	"netplace/internal/exper"
 	"netplace/internal/facility"
 	"netplace/internal/gen"
+	"netplace/internal/metric"
 	"netplace/internal/tree"
 	"netplace/internal/workload"
 )
@@ -155,7 +156,7 @@ func benchFacility(b *testing.B, solve facility.Solver, n int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	in := &facility.Instance{Open: make([]float64, g.N()), Demand: make([]int64, g.N()), Dist: g.AllPairs()}
+	in := &facility.Instance{Open: make([]float64, g.N()), Demand: make([]int64, g.N()), Metric: metric.New(g.AllPairs())}
 	for v := 0; v < g.N(); v++ {
 		in.Open[v] = 2 + rng.Float64()*20
 		in.Demand[v] = rng.Int63n(8)
@@ -164,6 +165,80 @@ func benchFacility(b *testing.B, solve facility.Solver, n int) {
 	for i := 0; i < b.N; i++ {
 		s := solve(in)
 		benchSink += float64(len(s))
+	}
+}
+
+// Large-graph benchmarks: the perf trajectory of the oracle backends.
+// Dense and Lazy are compared head-to-head at a size where the Θ(n²)
+// matrix is still affordable (2500 nodes ≈ 50 MB); the 50k-node grid and
+// interconnect runs are lazy-only — their dense matrices would need ~20 GB,
+// which is exactly what the lazy backend exists to avoid. Run with
+// -benchmem to see allocated bytes per solve.
+
+func largeGridInstance(side int) *core.Instance {
+	g := gen.Grid(side, side, gen.UnitWeights)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = float64(3 + v%5)
+	}
+	obj := core.Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+	for v := 0; v < n; v++ {
+		obj.Reads[v] = 1
+		if v%1201 == 0 {
+			obj.Writes[v] = 1
+		}
+	}
+	return core.MustInstance(g, storage, []core.Object{obj})
+}
+
+func benchSolveBackend(b *testing.B, side int, backend core.MetricBackend) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in := largeGridInstance(side) // fresh instance: include metric build cost
+		p := core.Approximate(in, core.Options{Metric: backend, MetricRows: 64})
+		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+func BenchmarkSolveGrid2500Dense(b *testing.B) { benchSolveBackend(b, 50, core.MetricDense) }
+func BenchmarkSolveGrid2500Lazy(b *testing.B)  { benchSolveBackend(b, 50, core.MetricLazy) }
+func BenchmarkSolveGrid10kLazy(b *testing.B)   { benchSolveBackend(b, 100, core.MetricLazy) }
+func BenchmarkSolveGrid50kLazy(b *testing.B)   { benchSolveBackend(b, 224, core.MetricLazy) }
+
+func BenchmarkSolveInterconnect46kLazy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := gen.Torus(215, 215, gen.UnitWeights) // 46225-node wrap-around mesh
+		n := g.N()
+		storage := make([]float64, n)
+		for v := range storage {
+			storage[v] = float64(4 + v%3)
+		}
+		obj := core.Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+		for v := 0; v < n; v++ {
+			obj.Reads[v] = 1
+			if v%997 == 0 {
+				obj.Writes[v] = 1
+			}
+		}
+		in := core.MustInstance(g, storage, []core.Object{obj})
+		p := core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64})
+		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+// BenchmarkLazyRowCache measures the row cache under a point-query pattern
+// whose working set (the copy set) fits the budget.
+func BenchmarkLazyRowCacheHits(b *testing.B) {
+	in := largeGridInstance(100)
+	in.UseMetric(core.MetricLazy, 64)
+	o := in.Metric()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += o.Dist(i%32, (i*7919)%in.N())
 	}
 }
 

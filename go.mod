@@ -1,0 +1,3 @@
+module netplace
+
+go 1.24

@@ -78,7 +78,7 @@ func Solve(p *Problem) (core.Placement, error) {
 	in := p.In
 	n := in.N()
 	nobj := len(in.Objects)
-	dist := in.Dist()
+	o := in.Metric()
 
 	used := make([]int, n)
 	pl := core.Placement{Copies: make([][]int, nobj)}
@@ -107,9 +107,10 @@ func Solve(p *Problem) (core.Placement, error) {
 			if used[v] >= p.Cap[v] {
 				continue
 			}
+			row := o.Row(v)
 			c := in.Storage[v] * obj.Scale()
 			for u := 0; u < n; u++ {
-				c += float64(obj.Reads[u]) * dist[u][v] * obj.Scale()
+				c += float64(obj.Reads[u]) * row[u] * obj.Scale()
 			}
 			if c < bestCost {
 				best, bestCost = v, c

@@ -14,8 +14,11 @@ import (
 // Options configures the Section 2 approximation algorithm. The zero value
 // selects the paper's parameters.
 type Options struct {
-	// FL is the facility-location solver used in phase 1. Nil selects
-	// local search (the combinatorial 5-approximation of Korupolu et al.).
+	// FL is the facility-location solver used in phase 1. Nil auto-selects:
+	// local search (the combinatorial 5-approximation of Korupolu et al.)
+	// up to DenseMetricMaxNodes nodes, and the ball-scanning Mettu–Plaxton
+	// 3-approximation beyond it (local search is Θ(n²) per sweep and does
+	// not survive large networks).
 	FL facility.Solver
 	// Phase2Factor is the storage-radius multiple beyond which a node
 	// demands its own copy; the paper uses 5. Zero selects 5.
@@ -28,16 +31,26 @@ type Options struct {
 	SkipPhase3 bool
 	// Workers bounds the goroutines placing objects concurrently (the
 	// paper's algorithm treats objects independently, so object-level
-	// parallelism is exact). 0 or 1 runs sequentially; negative selects
-	// GOMAXPROCS. The result is bit-identical to the sequential run.
+	// parallelism is exact). 0 and negative values select GOMAXPROCS;
+	// 1 runs sequentially. The result is bit-identical to the sequential
+	// run either way.
 	Workers int
+	// Metric overrides the instance's distance-oracle backend for this
+	// solve (MetricAuto keeps whatever the instance selects).
+	Metric MetricBackend
+	// MetricRows bounds the lazy backend's row cache, in rows; 0 selects
+	// the default budget. Ignored by the dense and tree backends.
+	MetricRows int
 }
 
-func (o Options) fl() facility.Solver {
-	if o.FL == nil {
-		return facility.LocalSearch
+func (o Options) fl(n int) facility.Solver {
+	if o.FL != nil {
+		return o.FL
 	}
-	return o.FL
+	if n > DenseMetricMaxNodes {
+		return facility.MettuPlaxton
+	}
+	return facility.LocalSearch
 }
 
 func (o Options) p2() float64 {
@@ -54,6 +67,16 @@ func (o Options) p3() float64 {
 	return o.Phase3Factor
 }
 
+func (o Options) workers() int {
+	if o.Workers == 1 {
+		return 1
+	}
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 // Approximate runs the paper's three-phase constant-factor approximation
 // algorithm (Section 2.2) independently for every object:
 //
@@ -67,11 +90,11 @@ func (o Options) p3() float64 {
 // storage cost is near-optimal (Lemma 9), hence a constant-factor
 // approximation of the total cost (Theorem 7).
 func Approximate(in *Instance, opt Options) Placement {
-	p := Placement{Copies: make([][]int, len(in.Objects))}
-	workers := opt.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if opt.Metric != MetricAuto {
+		in.UseMetric(opt.Metric, opt.MetricRows)
 	}
+	p := Placement{Copies: make([][]int, len(in.Objects))}
+	workers := opt.workers()
 	if workers > len(in.Objects) {
 		workers = len(in.Objects)
 	}
@@ -81,7 +104,7 @@ func Approximate(in *Instance, opt Options) Placement {
 		}
 		return p
 	}
-	in.Dist() // materialise the shared metric before fanning out
+	in.Metric() // resolve the shared oracle before fanning out
 	var next int64 = -1
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -104,7 +127,7 @@ func Approximate(in *Instance, opt Options) Placement {
 // approximateObject places a single object.
 func approximateObject(in *Instance, obj *Object, opt Options) []int {
 	n := in.N()
-	dist := in.Dist()
+	o := in.Metric()
 	req := obj.Requests()
 	total := req.Total()
 	if total == 0 {
@@ -120,10 +143,10 @@ func approximateObject(in *Instance, obj *Object, opt Options) []int {
 
 	// Phase 1: related facility location problem. Writes count as reads;
 	// update costs are ignored.
-	fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Dist: dist}
-	copies := opt.fl()(fl)
+	fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Metric: o}
+	copies := opt.fl(n)(fl)
 
-	radii := metric.ComputeRadii(in.Space(), req, obj.TotalWrites(), in.Storage)
+	radii := metric.ComputeRadii(o, req, obj.TotalWrites(), in.Storage)
 
 	has := make([]bool, n)
 	near := make([]float64, n) // distance to nearest copy
@@ -132,11 +155,7 @@ func approximateObject(in *Instance, obj *Object, opt Options) []int {
 	}
 	addCopy := func(c int) {
 		has[c] = true
-		for v := 0; v < n; v++ {
-			if d := dist[v][c]; d < near[v] {
-				near[v] = d
-			}
-		}
+		metric.ImproveNearest(o, c, near)
 	}
 	for _, c := range copies {
 		addCopy(c)
@@ -174,15 +193,37 @@ func approximateObject(in *Instance, obj *Object, opt Options) []int {
 			}
 			return order[a] < order[b]
 		})
+		scanBased := o.Kind() == metric.KindLazy
 		for _, v := range order {
 			if !has[v] {
 				continue // already deleted by an earlier scan
+			}
+			if scanBased {
+				// A copy u is deleted when d(u, v) <= k * rw(u), so no
+				// deletion can happen beyond k * max alive rw: sweep the
+				// ball up to that radius instead of fetching copy rows.
+				limit := 0.0
+				for _, u := range order {
+					if u != v && has[u] && k*radii[u].RW > limit {
+						limit = k * radii[u].RW
+					}
+				}
+				metric.ScanNear(o, v, func(u int, d float64) bool {
+					if d > limit {
+						return false
+					}
+					if u != v && has[u] && d <= k*radii[u].RW {
+						has[u] = false
+					}
+					return true
+				})
+				continue
 			}
 			for _, u := range order {
 				if u == v || !has[u] {
 					continue
 				}
-				if dist[u][v] <= k*radii[u].RW {
+				if o.Dist(u, v) <= k*radii[u].RW {
 					has[u] = false
 				}
 			}
@@ -224,17 +265,13 @@ type ProperReport struct {
 // set for one object, to let tests assert Lemma 8 as an executable
 // invariant.
 func (in *Instance) CheckProper(obj *Object, copies []int) ProperReport {
-	dist := in.Dist()
+	o := in.Metric()
 	req := obj.Requests()
-	radii := metric.ComputeRadii(in.Space(), req, obj.TotalWrites(), in.Storage)
+	radii := metric.ComputeRadii(o, req, obj.TotalWrites(), in.Storage)
+	near := metric.NearestOf(o, copies)
 	rep := ProperReport{Copies: len(copies), MinPairFactor: graphInf}
 	for v := 0; v < in.N(); v++ {
-		best := graphInf
-		for _, c := range copies {
-			if d := dist[v][c]; d < best {
-				best = d
-			}
-		}
+		best := near[v]
 		m := radii[v].RW
 		if radii[v].RS > m {
 			m = radii[v].RS
@@ -258,7 +295,7 @@ func (in *Instance) CheckProper(obj *Object, copies []int) ProperReport {
 			if m == 0 {
 				continue
 			}
-			if f := dist[u][v] / m; f < rep.MinPairFactor {
+			if f := o.Dist(u, v) / m; f < rep.MinPairFactor {
 				rep.MinPairFactor = f
 			}
 		}

@@ -28,17 +28,19 @@ func FullReplication(in *Instance) Placement {
 // SingleBest places each object on the single node minimising the exact
 // total cost of a one-copy placement (a weighted 1-median including the
 // storage fee). With one copy there is no update multicast, so this is
-// exactly optimal among single-copy placements.
+// exactly optimal among single-copy placements. Inherently Θ(n²) distance
+// work (one oracle row per candidate node).
 func SingleBest(in *Instance) Placement {
-	dist := in.Dist()
+	o := in.Metric()
 	p := Placement{Copies: make([][]int, len(in.Objects))}
 	for i := range in.Objects {
 		obj := &in.Objects[i]
 		best, bestCost := 0, math.Inf(1)
 		for v := 0; v < in.N(); v++ {
+			row := o.Row(v)
 			c := in.Storage[v]
 			for u := 0; u < in.N(); u++ {
-				c += float64(obj.Reads[u]+obj.Writes[u]) * dist[u][v]
+				c += float64(obj.Reads[u]+obj.Writes[u]) * row[u]
 			}
 			if c < bestCost {
 				best, bestCost = v, c
@@ -57,7 +59,7 @@ func FacilityOnly(in *Instance, solver facility.Solver) Placement {
 	if solver == nil {
 		solver = facility.LocalSearch
 	}
-	dist := in.Dist()
+	o := in.Metric()
 	p := Placement{Copies: make([][]int, len(in.Objects))}
 	for i := range in.Objects {
 		obj := &in.Objects[i]
@@ -66,7 +68,7 @@ func FacilityOnly(in *Instance, solver facility.Solver) Placement {
 			p.Copies[i] = cheapestNode(in)
 			continue
 		}
-		fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Dist: dist}
+		fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Metric: o}
 		p.Copies[i] = solver(fl)
 	}
 	return p

@@ -3,7 +3,7 @@ package core
 import (
 	"math"
 
-	"netplace/internal/graph"
+	"netplace/internal/metric"
 )
 
 // Breakdown decomposes the total cost of a placement for one object or for a
@@ -32,28 +32,25 @@ func (b *Breakdown) Add(o Breakdown) {
 // copies (non-empty) under the restricted model: reads and write-access
 // messages go to the nearest copy; updates propagate along a metric-closure
 // minimum spanning tree over the copies. All three components scale with
-// the object's size (fees are per byte).
+// the object's size (fees are per byte). Nearest-copy distances come from
+// one multi-source sweep of the oracle, so the evaluation itself never
+// needs a dense matrix.
 func (in *Instance) ObjectCost(obj *Object, copies []int) Breakdown {
-	dist := in.Dist()
+	o := in.Metric()
 	var b Breakdown
 	for _, v := range copies {
 		b.Storage += in.Storage[v]
 	}
+	near := metric.NearestOf(o, copies)
 	for v := 0; v < in.N(); v++ {
 		f := obj.Reads[v] + obj.Writes[v]
 		if f == 0 {
 			continue
 		}
-		best := math.Inf(1)
-		for _, c := range copies {
-			if d := dist[v][c]; d < best {
-				best = d
-			}
-		}
-		b.Read += float64(f) * best
+		b.Read += float64(f) * near[v]
 	}
 	if w := obj.TotalWrites(); w > 0 && len(copies) > 1 {
-		b.Update = float64(w) * graph.MetricMST(dist, copies)
+		b.Update = float64(w) * metric.PairwiseMST(o, copies)
 	}
 	s := obj.Scale()
 	b.Storage *= s
@@ -72,21 +69,17 @@ func (in *Instance) Cost(p Placement) Breakdown {
 }
 
 // NearestCopy returns, for every node, the distance to and identity of the
-// nearest copy in the given copy set.
+// nearest copy in the given copy set (ties broken toward the earlier copy).
 func (in *Instance) NearestCopy(copies []int) (dist []float64, which []int) {
-	d := in.Dist()
-	n := in.N()
-	dist = make([]float64, n)
-	which = make([]int, n)
-	for v := 0; v < n; v++ {
-		dist[v] = math.Inf(1)
-		which[v] = -1
-		for _, c := range copies {
-			if dd := d[v][c]; dd < dist[v] {
-				dist[v] = dd
-				which[v] = c
-			}
+	d, idx := metric.NearestIdx(in.Metric(), copies)
+	which = idx
+	for v, i := range idx {
+		if i >= 0 {
+			which[v] = copies[i]
+		} else {
+			d[v] = math.Inf(1)
+			which[v] = -1
 		}
 	}
-	return dist, which
+	return d, which
 }

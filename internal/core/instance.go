@@ -66,14 +66,39 @@ func (o *Object) Requests() metric.Requests {
 	return metric.Requests{Count: c}
 }
 
+// MetricBackend selects a distance-oracle backend for an instance.
+type MetricBackend int
+
+const (
+	// MetricAuto picks by network shape and size: dense up to
+	// DenseMetricMaxNodes, the O(1)-per-query tree oracle for larger tree
+	// networks, and the lazy row-cached oracle for everything bigger.
+	MetricAuto MetricBackend = iota
+	// MetricDense materializes the full Θ(n²) matrix.
+	MetricDense
+	// MetricLazy computes rows on demand behind a bounded LRU cache.
+	MetricLazy
+	// MetricTree uses LCA depths; valid only for tree networks.
+	MetricTree
+)
+
+// DenseMetricMaxNodes is the largest network for which MetricAuto still
+// materializes the dense matrix (2048² float64s ≈ 33 MB). Above it the
+// auto-selected backend is memory-bounded.
+const DenseMetricMaxNodes = 2048
+
 // Instance is a static data management problem: a network with storage fees
 // cs(v) and a set of shared objects with read/write frequencies. The metric
 // ct(v, v') is the shortest-path closure of the network's edge fees, which
-// the paper proves is a metric; it is computed lazily and cached.
+// the paper proves is a metric; it is served by a pluggable distance oracle
+// (dense matrix, lazy row cache, or tree LCA) selected on first use.
 type Instance struct {
 	G       *graph.Graph
 	Storage []float64
 	Objects []Object
+
+	mu     sync.Mutex
+	oracle metric.Oracle
 
 	distOnce sync.Once
 	dist     [][]float64
@@ -124,16 +149,109 @@ func MustInstance(g *graph.Graph, storage []float64, objects []Object) *Instance
 // N returns the number of network nodes.
 func (in *Instance) N() int { return in.G.N() }
 
-// Dist returns the dense shortest-path metric, computing it on first use.
+// Metric returns the instance's distance oracle, auto-selecting a backend
+// on first use (see MetricAuto). Safe for concurrent use.
+func (in *Instance) Metric() metric.Oracle {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.oracle == nil {
+		in.oracle = in.buildOracle(MetricAuto, 0)
+	}
+	return in.oracle
+}
+
+// SetMetric installs a specific oracle, overriding auto-selection. Install
+// before the first solve; switching backends mid-computation is safe for
+// correctness (all backends agree on distances) but wastes whatever the
+// previous backend cached.
+func (in *Instance) SetMetric(o metric.Oracle) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.oracle = o
+}
+
+// UseMetric selects a backend by name. cacheRows bounds the lazy backend's
+// row cache (0 selects the default budget); other backends ignore it. An
+// already-installed oracle of the requested backend is kept — except a lazy
+// oracle whose budget differs from an explicitly requested cacheRows, which
+// is rebuilt so MetricRows actually caps memory.
+func (in *Instance) UseMetric(b MetricBackend, cacheRows int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.oracle != nil && backendOf(in.oracle) == b {
+		l, ok := in.oracle.(*metric.Lazy)
+		if !ok || cacheRows <= 0 || l.Budget() == cacheRows {
+			return
+		}
+	}
+	in.oracle = in.buildOracle(b, cacheRows)
+}
+
+// backendOf maps an oracle back to the selector that would build it.
+func backendOf(o metric.Oracle) MetricBackend {
+	switch o.Kind() {
+	case metric.KindDense:
+		return MetricDense
+	case metric.KindLazy:
+		return MetricLazy
+	case metric.KindTree:
+		return MetricTree
+	}
+	return MetricAuto
+}
+
+// buildOracle constructs the requested backend; called with in.mu held.
+func (in *Instance) buildOracle(b MetricBackend, cacheRows int) metric.Oracle {
+	if b == MetricAuto {
+		switch {
+		case in.G.N() <= DenseMetricMaxNodes:
+			b = MetricDense
+		case in.G.IsTree():
+			b = MetricTree
+		default:
+			b = MetricLazy
+		}
+	}
+	switch b {
+	case MetricDense:
+		return metric.New(in.G.AllPairsParallel(0))
+	case MetricTree:
+		if !in.G.IsTree() {
+			panic("core: MetricTree on a non-tree network")
+		}
+		return metric.NewTree(in.G)
+	default:
+		return metric.NewLazy(in.G, cacheRows)
+	}
+}
+
+// Dist returns the dense shortest-path matrix, computing it on first use.
 // Safe for concurrent use; the computation itself is parallelised.
+//
+// Deprecated: Dist materializes Θ(n²) memory regardless of the selected
+// backend. New code should use Metric and the helpers in internal/metric;
+// Dist remains for the small-n exact solvers and tests that genuinely need
+// a matrix.
 func (in *Instance) Dist() [][]float64 {
 	in.distOnce.Do(func() {
+		in.mu.Lock()
+		if in.oracle == nil {
+			in.oracle = in.buildOracle(MetricDense, 0)
+		}
+		o := in.oracle
+		in.mu.Unlock()
+		if s, ok := o.(*metric.Space); ok {
+			in.dist = s.D
+			return
+		}
 		in.dist = in.G.AllPairsParallel(0)
 	})
 	return in.dist
 }
 
-// Space returns the metric-space view of the network.
+// Space returns the dense metric-space view of the network.
+//
+// Deprecated: see Dist; use Metric instead.
 func (in *Instance) Space() *metric.Space { return metric.New(in.Dist()) }
 
 // Placement assigns every object a non-empty copy set (node ids, sorted).

@@ -13,8 +13,9 @@ func TestApproximateParallelMatchesSequential(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomCoreInstance(rng, 14, 6, 0.4)
-		seq := Approximate(in, Options{})
-		for _, workers := range []int{2, 4, -1} {
+		seq := Approximate(in, Options{Workers: 1})
+		// Workers 0 defaults to GOMAXPROCS (parallel), like negative values.
+		for _, workers := range []int{0, 2, 4, -1} {
 			par := Approximate(in, Options{Workers: workers})
 			if !reflect.DeepEqual(seq.Copies, par.Copies) {
 				t.Fatalf("seed %d workers %d: parallel diverged: %v vs %v",

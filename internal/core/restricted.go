@@ -1,10 +1,9 @@
 package core
 
 import (
-	"math"
 	"sort"
 
-	"netplace/internal/graph"
+	"netplace/internal/metric"
 )
 
 // MakeRestricted applies the copy-deletion procedure from the proof of
@@ -29,11 +28,11 @@ func MakeRestricted(in *Instance, obj *Object, copies []int) []int {
 	if W == 0 || len(copies) <= 1 {
 		return append([]int(nil), copies...)
 	}
-	dist := in.Dist()
+	o := in.Metric()
 
 	// Multicast tree over the input copies, rooted at copies[0]; tree
 	// distance of a copy = weight of its unique MST path to the root.
-	edges, _ := graph.MetricMSTTree(dist, copies)
+	edges, _ := metric.PairwiseMSTTree(o, copies)
 	children := make([][]int, len(copies))
 	for _, e := range edges {
 		children[e[0]] = append(children[e[0]], e[1])
@@ -42,7 +41,7 @@ func MakeRestricted(in *Instance, obj *Object, copies []int) []int {
 	var walk func(ci int)
 	walk = func(ci int) {
 		for _, ch := range children[ci] {
-			treeDist[ch] = treeDist[ci] + dist[copies[ci]][copies[ch]]
+			treeDist[ch] = treeDist[ci] + o.Dist(copies[ci], copies[ch])
 			walk(ch)
 		}
 	}
@@ -55,24 +54,29 @@ func MakeRestricted(in *Instance, obj *Object, copies []int) []int {
 	aliveCount := len(copies)
 
 	// served[i] = number of requests whose nearest alive copy is copies[i]
-	// (ties broken toward the lower copy index, deterministically).
+	// (ties broken toward the lower copy index — NearestIdx's contract,
+	// preserved because alive copies keep their relative order).
 	served := make([]int64, len(copies))
+	aliveSet := make([]int, 0, len(copies))
+	aliveIdx := make([]int, 0, len(copies))
 	recount := func() {
 		for i := range served {
 			served[i] = 0
 		}
+		aliveSet, aliveIdx = aliveSet[:0], aliveIdx[:0]
+		for i, c := range copies {
+			if alive[i] {
+				aliveSet = append(aliveSet, c)
+				aliveIdx = append(aliveIdx, i)
+			}
+		}
+		_, idx := metric.NearestIdx(o, aliveSet)
 		for v := 0; v < in.N(); v++ {
 			f := obj.Reads[v] + obj.Writes[v]
 			if f == 0 {
 				continue
 			}
-			best, bestD := -1, math.Inf(1)
-			for i, c := range copies {
-				if alive[i] && dist[v][c] < bestD {
-					best, bestD = i, dist[v][c]
-				}
-			}
-			served[best] += f
+			served[aliveIdx[idx[v]]] += f
 		}
 	}
 
@@ -109,20 +113,14 @@ func MakeRestricted(in *Instance, obj *Object, copies []int) []int {
 // nearest copy it is, with ties broken toward the earlier copy in the slice.
 // Used to check the restricted-placement property.
 func (in *Instance) ServeCounts(obj *Object, copies []int) []int64 {
-	dist := in.Dist()
+	_, idx := metric.NearestIdx(in.Metric(), copies)
 	served := make([]int64, len(copies))
 	for v := 0; v < in.N(); v++ {
 		f := obj.Reads[v] + obj.Writes[v]
 		if f == 0 {
 			continue
 		}
-		best, bestD := -1, math.Inf(1)
-		for i, c := range copies {
-			if dist[v][c] < bestD {
-				best, bestD = i, dist[v][c]
-			}
-		}
-		served[best] += f
+		served[idx[v]] += f
 	}
 	return served
 }

@@ -10,26 +10,60 @@
 //   - the Mettu–Plaxton radius-greedy algorithm (3-approximation),
 //
 // plus an exact brute-force solver for evaluation on small instances.
+//
+// Distances come from a pluggable metric.Oracle. Local search, Jain–Vazirani
+// and the greedy are inherently Θ(n²)-query algorithms and belong on small
+// instances (dense backend); Mettu–Plaxton is written against nearest-first
+// ball scans and runs on large sparse networks with a lazy backend without
+// ever touching a full matrix.
 package facility
 
 import (
 	"math"
 	"sort"
+
+	"netplace/internal/metric"
 )
 
 // Instance is a UFL instance over a finite metric: Open[i] is the cost of
 // opening a facility at node i; Demand[j] is the (integral) request weight
-// of client j; Dist is the dense metric. Facilities and clients share the
-// node universe 0..n-1, as in the data-management reduction where every
+// of client j; Metric is the distance oracle. Facilities and clients share
+// the node universe 0..n-1, as in the data-management reduction where every
 // node may both issue requests and hold a copy.
 type Instance struct {
 	Open   []float64
 	Demand []int64
-	Dist   [][]float64
+	Metric metric.Oracle
+
+	scratch []float64 // reusable nearest-facility buffer for Cost
 }
 
 // N returns the number of nodes.
 func (in *Instance) N() int { return len(in.Open) }
+
+// nearestOpen fills in.scratch with each client's distance to the nearest
+// open facility, iterating facility rows (row-shaped access keeps a lazy
+// backend's cache on the small facility set, not the whole client universe).
+// Instances are not safe for concurrent Cost calls because of this buffer.
+func (in *Instance) nearestOpen(open []int) []float64 {
+	n := in.N()
+	if cap(in.scratch) < n {
+		in.scratch = make([]float64, n)
+	}
+	best := in.scratch[:n]
+	for j := range best {
+		best[j] = math.Inf(1)
+	}
+	for _, f := range open {
+		row := in.Metric.Row(f)
+		for j, d := range row {
+			if d < best[j] {
+				best[j] = d
+			}
+		}
+	}
+	return best
+}
 
 // Cost returns the UFL objective of opening exactly the given facility set:
 // total opening cost plus each client's demand times its distance to the
@@ -42,17 +76,12 @@ func (in *Instance) Cost(open []int) float64 {
 	for _, f := range open {
 		c += in.Open[f]
 	}
+	best := in.nearestOpen(open)
 	for j := 0; j < in.N(); j++ {
 		if in.Demand[j] == 0 {
 			continue
 		}
-		best := math.Inf(1)
-		for _, f := range open {
-			if d := in.Dist[j][f]; d < best {
-				best = d
-			}
-		}
-		c += float64(in.Demand[j]) * best
+		c += float64(in.Demand[j]) * best[j]
 	}
 	return c
 }
@@ -60,17 +89,12 @@ func (in *Instance) Cost(open []int) float64 {
 // ConnectionCost returns only the service part of the objective.
 func (in *Instance) ConnectionCost(open []int) float64 {
 	c := 0.0
+	best := in.nearestOpen(open)
 	for j := 0; j < in.N(); j++ {
 		if in.Demand[j] == 0 {
 			continue
 		}
-		best := math.Inf(1)
-		for _, f := range open {
-			if d := in.Dist[j][f]; d < best {
-				best = d
-			}
-		}
-		c += float64(in.Demand[j]) * best
+		c += float64(in.Demand[j]) * best[j]
 	}
 	return c
 }
@@ -107,6 +131,7 @@ func BruteForce(in *Instance) []int {
 // facility, accepting a move only if it improves the objective by more than
 // a (1 + eps/n) factor so termination is polynomial. With eps -> 0 the
 // solution is a (5)-approximation (Korupolu et al.); we use eps = 1e-6.
+// Inherently Θ(n²) distance queries per sweep: a small-instance solver.
 func LocalSearch(in *Instance) []int {
 	n := in.N()
 	if n == 0 {
@@ -203,6 +228,11 @@ func without(s []int, v int) []int {
 // node compute the radius r(v) at which the ball around v "pays for" the
 // opening cost, then scan nodes by ascending radius and open v unless an
 // already-open facility lies within 2 r(v). 3-approximation.
+//
+// Both steps are nearest-first ball scans that stop as soon as they are
+// resolved, so on a lazy backend the algorithm explores only the payment
+// ball of each node — this is the phase-1 solver that scales to 50k+ node
+// sparse networks.
 func MettuPlaxton(in *Instance) []int {
 	n := in.N()
 	r := make([]float64, n)
@@ -215,16 +245,35 @@ func MettuPlaxton(in *Instance) []int {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return r[order[a]] < r[order[b]] })
 	var open []int
+	isOpen := make([]bool, n)
+	pointCheap := in.Metric.Kind() != metric.KindLazy
 	for _, v := range order {
 		ok := true
-		for _, f := range open {
-			if in.Dist[v][f] <= 2*r[v] {
-				ok = false
-				break
+		if pointCheap {
+			for _, f := range open {
+				if in.Metric.Dist(v, f) <= 2*r[v] {
+					ok = false
+					break
+				}
 			}
+		} else {
+			// Ball scan: an open facility within 2 r(v) is found before the
+			// scan passes that radius; the scan never leaves the ball.
+			limit := 2 * r[v]
+			metric.ScanNear(in.Metric, v, func(u int, d float64) bool {
+				if d > limit {
+					return false
+				}
+				if isOpen[u] {
+					ok = false
+					return false
+				}
+				return true
+			})
 		}
 		if ok {
 			open = append(open, v)
+			isOpen[v] = true
 		}
 	}
 	if len(open) == 0 && n > 0 {
@@ -236,35 +285,30 @@ func MettuPlaxton(in *Instance) []int {
 
 // mpRadius solves sum_{u: d(u,v) <= r} demand(u) * (r - d(u,v)) = open(v)
 // for r. The left side is piecewise linear and increasing in r, so walk the
-// nodes sorted by distance accumulating slope.
+// request ball outward accumulating slope and stop at the paying radius —
+// nodes beyond it are never visited.
 func mpRadius(in *Instance, v int) float64 {
-	n := in.N()
-	type du struct {
-		d float64
-		w int64
-	}
-	ds := make([]du, 0, n)
-	for u := 0; u < n; u++ {
-		if in.Demand[u] > 0 {
-			ds = append(ds, du{in.Dist[v][u], in.Demand[u]})
-		}
-	}
-	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
 	target := in.Open[v]
 	var slope int64 // total demand inside the current ball
 	value := 0.0    // left side at the current radius
 	radius := 0.0
-	for _, e := range ds {
+	solved := math.Inf(1)
+	metric.ScanNear(in.Metric, v, func(u int, d float64) bool {
 		if slope > 0 {
-			// advance radius to e.d
+			// advance radius to d
 			need := (target - value) / float64(slope)
-			if radius+need <= e.d {
-				return radius + need
+			if radius+need <= d {
+				solved = radius + need
+				return false
 			}
-			value += float64(slope) * (e.d - radius)
+			value += float64(slope) * (d - radius)
 		}
-		radius = e.d
-		slope += e.w
+		radius = d
+		slope += in.Demand[u]
+		return true
+	})
+	if !math.IsInf(solved, 1) {
+		return solved
 	}
 	if slope == 0 {
 		return math.Inf(1) // no demand anywhere: never pays off

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"netplace/internal/gen"
+	"netplace/internal/metric"
 )
 
 func randomInstance(rng *rand.Rand, n int) *Instance {
@@ -14,7 +15,7 @@ func randomInstance(rng *rand.Rand, n int) *Instance {
 	in := &Instance{
 		Open:   make([]float64, n),
 		Demand: make([]int64, n),
-		Dist:   g.AllPairs(),
+		Metric: metric.New(g.AllPairs()),
 	}
 	for v := 0; v < n; v++ {
 		in.Open[v] = rng.Float64() * 25
@@ -62,11 +63,11 @@ func TestBruteForceKnownInstance(t *testing.T) {
 	in := &Instance{
 		Open:   []float64{1, 100, 1},
 		Demand: []int64{10, 0, 10},
-		Dist: [][]float64{
+		Metric: metric.New([][]float64{
 			{0, 5, 10},
 			{5, 0, 5},
 			{10, 5, 0},
-		},
+		}),
 	}
 	got := BruteForce(in)
 	sort.Ints(got)
@@ -99,7 +100,7 @@ func TestSolversHandleZeroDemand(t *testing.T) {
 	in := &Instance{
 		Open:   []float64{5, 2, 7},
 		Demand: []int64{0, 0, 0},
-		Dist:   [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}},
+		Metric: metric.New([][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}}),
 	}
 	for name, solve := range map[string]Solver{
 		"local-search":  LocalSearch,
@@ -114,7 +115,7 @@ func TestSolversHandleZeroDemand(t *testing.T) {
 }
 
 func TestSolversHandleSingleNode(t *testing.T) {
-	in := &Instance{Open: []float64{3}, Demand: []int64{4}, Dist: [][]float64{{0}}}
+	in := &Instance{Open: []float64{3}, Demand: []int64{4}, Metric: metric.New([][]float64{{0}})}
 	for name, solve := range map[string]Solver{
 		"local-search":  LocalSearch,
 		"jain-vazirani": JainVazirani,
@@ -131,13 +132,14 @@ func TestLocalSearchImprovesOverSingleton(t *testing.T) {
 	// A line of heavy demand nodes with cheap facilities everywhere: any
 	// single placement pays long hauls, local search must open several.
 	n := 9
-	in := &Instance{Open: make([]float64, n), Demand: make([]int64, n), Dist: make([][]float64, n)}
+	d := make([][]float64, n)
+	in := &Instance{Open: make([]float64, n), Demand: make([]int64, n), Metric: metric.New(d)}
 	for i := 0; i < n; i++ {
 		in.Open[i] = 2
 		in.Demand[i] = 5
-		in.Dist[i] = make([]float64, n)
+		d[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			in.Dist[i][j] = math.Abs(float64(i - j))
+			d[i][j] = math.Abs(float64(i - j))
 		}
 	}
 	got := LocalSearch(in)
@@ -161,13 +163,13 @@ func TestGreedyZeroDemandAndSingleton(t *testing.T) {
 	in := &Instance{
 		Open:   []float64{5, 2, 7},
 		Demand: []int64{0, 0, 0},
-		Dist:   [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}},
+		Metric: metric.New([][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}}),
 	}
 	got := Greedy(in)
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("zero-demand greedy = %v, want cheapest [1]", got)
 	}
-	one := &Instance{Open: []float64{3}, Demand: []int64{4}, Dist: [][]float64{{0}}}
+	one := &Instance{Open: []float64{3}, Demand: []int64{4}, Metric: metric.New([][]float64{{0}})}
 	if got := Greedy(one); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("singleton greedy = %v", got)
 	}

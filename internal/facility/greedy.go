@@ -45,11 +45,13 @@ func Greedy(in *Instance) []int {
 		bestRatio := math.Inf(1)
 		var bestList []cand
 		for i := 0; i < n; i++ {
-			// Unconnected clients by distance to i.
+			// Unconnected clients by distance to i (one oracle row per
+			// candidate facility).
+			row := in.Metric.Row(i)
 			var cs []cand
 			for j := 0; j < n; j++ {
 				if !connected[j] {
-					cs = append(cs, cand{d: in.Dist[j][i], j: j, w: float64(in.Demand[j])})
+					cs = append(cs, cand{d: row[j], j: j, w: float64(in.Demand[j])})
 				}
 			}
 			sort.Slice(cs, func(a, b int) bool { return cs[a].d < cs[b].d })

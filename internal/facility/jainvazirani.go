@@ -67,7 +67,7 @@ func JainVazirani(in *Instance) []int {
 				if !isOpen[i] {
 					continue
 				}
-				if need := in.Dist[j][i] - cs[j].alpha; need < dt {
+				if need := in.Metric.Dist(j, i) - cs[j].alpha; need < dt {
 					dt = need
 				}
 			}
@@ -82,7 +82,7 @@ func JainVazirani(in *Instance) []int {
 			}
 			rate := 0.0
 			for j := 0; j < n; j++ {
-				if !cs[j].connected && cs[j].alpha >= in.Dist[j][i] {
+				if !cs[j].connected && cs[j].alpha >= in.Metric.Dist(j, i) {
 					rate += cs[j].demand
 				}
 			}
@@ -93,8 +93,8 @@ func JainVazirani(in *Instance) []int {
 			}
 			// Threshold crossings: client starts contributing to i.
 			for j := 0; j < n; j++ {
-				if !cs[j].connected && cs[j].alpha < in.Dist[j][i] {
-					if need := in.Dist[j][i] - cs[j].alpha; need < dt {
+				if !cs[j].connected && cs[j].alpha < in.Metric.Dist(j, i) {
+					if need := in.Metric.Dist(j, i) - cs[j].alpha; need < dt {
 						dt = need
 					}
 				}
@@ -119,8 +119,8 @@ func JainVazirani(in *Instance) []int {
 				continue
 			}
 			for j := 0; j < n; j++ {
-				if !cs[j].connected && cs[j].alpha >= in.Dist[j][i] {
-					paid[i] += cs[j].demand * math.Min(dt, cs[j].alpha-in.Dist[j][i])
+				if !cs[j].connected && cs[j].alpha >= in.Metric.Dist(j, i) {
+					paid[i] += cs[j].demand * math.Min(dt, cs[j].alpha-in.Metric.Dist(j, i))
 				}
 			}
 		}
@@ -131,7 +131,7 @@ func JainVazirani(in *Instance) []int {
 				isOpen[i] = true
 				openAt[i] = t
 				for j := 0; j < n; j++ {
-					if cs[j].alpha >= in.Dist[j][i]-tie && cs[j].demand > 0 {
+					if cs[j].alpha >= in.Metric.Dist(j, i)-tie && cs[j].demand > 0 {
 						contrib[i][j] = true
 					}
 				}
@@ -143,7 +143,7 @@ func JainVazirani(in *Instance) []int {
 				continue
 			}
 			for i := 0; i < n; i++ {
-				if isOpen[i] && cs[j].alpha >= in.Dist[j][i]-tie {
+				if isOpen[i] && cs[j].alpha >= in.Metric.Dist(j, i)-tie {
 					cs[j].connected = true
 					witness[j] = i
 					active--

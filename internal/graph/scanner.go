@@ -1,0 +1,136 @@
+package graph
+
+import "container/heap"
+
+// Scanner runs truncated Dijkstra sweeps from varying sources, reusing its
+// internal arrays across calls so that a sweep over a small ball costs only
+// the ball, not O(n) re-initialisation. It is the engine behind the lazy
+// distance oracle's nearest-first iteration: radius machinery and
+// facility-location ball scans stop after a handful of nodes, so a full
+// per-source shortest-path run (let alone an all-pairs matrix) is wasted
+// work on large networks.
+//
+// A Scanner is not safe for concurrent use; pool Scanners per goroutine.
+type Scanner struct {
+	g     *Graph
+	dist  []float64
+	stamp []int // epoch in which dist/done were last written
+	done  []int
+	epoch int
+	q     pq
+}
+
+// NewScanner returns a Scanner over g.
+func NewScanner(g *Graph) *Scanner {
+	return &Scanner{
+		g:     g,
+		dist:  make([]float64, g.n),
+		stamp: make([]int, g.n),
+		done:  make([]int, g.n),
+	}
+}
+
+// Scan visits nodes in nondecreasing shortest-path distance from src,
+// calling fn(v, d) for each settled node (starting with fn(src, 0)). The
+// sweep stops early when fn returns false; only the explored ball is paid
+// for. Unreachable nodes are never visited.
+func (s *Scanner) Scan(src int, fn func(v int, d float64) bool) {
+	s.epoch++
+	e := s.epoch
+	s.dist[src] = 0
+	s.stamp[src] = e
+	s.q = append(s.q[:0], pqItem{node: src, dist: 0})
+	for len(s.q) > 0 {
+		it := heap.Pop(&s.q).(pqItem)
+		v := it.node
+		if s.done[v] == e {
+			continue
+		}
+		s.done[v] = e
+		if !fn(v, it.dist) {
+			return
+		}
+		for _, h := range s.g.adj[v] {
+			nd := it.dist + h.w
+			if s.stamp[h.to] != e || nd < s.dist[h.to] {
+				s.dist[h.to] = nd
+				s.stamp[h.to] = e
+				heap.Push(&s.q, pqItem{node: h.to, dist: nd})
+			}
+		}
+	}
+}
+
+// ImproveNearest merges the distances from src into near: afterwards
+// near[v] = min(near[v], d(src, v)). It explores only the region that src
+// actually improves (src's Voronoi cell with respect to the sources already
+// folded into near), which makes incrementally adding one source to a
+// nearest-source field far cheaper than a fresh multi-source run. Pruning
+// is exact: a path through a node it did not improve cannot improve any
+// node beyond it, by the triangle inequality.
+func (g *Graph) ImproveNearest(src int, near []float64) {
+	if len(near) != g.n {
+		panic("graph: ImproveNearest length mismatch")
+	}
+	if near[src] <= 0 {
+		return
+	}
+	dist := make(map[int]float64, 16)
+	q := pq{{node: src, dist: 0}}
+	dist[src] = 0
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if d, ok := dist[v]; !ok || it.dist > d {
+			continue
+		}
+		if it.dist < near[v] {
+			near[v] = it.dist
+		}
+		for _, h := range g.adj[v] {
+			nd := it.dist + h.w
+			if nd >= near[h.to] {
+				continue
+			}
+			if d, ok := dist[h.to]; ok && nd >= d {
+				continue
+			}
+			dist[h.to] = nd
+			heap.Push(&q, pqItem{node: h.to, dist: nd})
+		}
+	}
+}
+
+// Relax computes, for every node v, min_u (init[u] + d(u, v)) — a
+// multi-source Dijkstra whose sources carry initial potentials. init entries
+// of +Inf are non-sources. The input slice is not modified. This is the
+// graph-native form of the dense-matrix relaxation pass
+// row[v] = min_u (row[u] + dist[u][v]) used by Steiner dynamic programs, and
+// lets them run without an all-pairs matrix.
+func (g *Graph) Relax(init []float64) []float64 {
+	if len(init) != g.n {
+		panic("graph: Relax length mismatch")
+	}
+	out := make([]float64, g.n)
+	copy(out, init)
+	q := pq{}
+	for v, d := range out {
+		if d < Inf {
+			heap.Push(&q, pqItem{node: v, dist: d})
+		}
+	}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if it.dist > out[v] {
+			continue
+		}
+		for _, h := range g.adj[v] {
+			if nd := it.dist + h.w; nd < out[h.to] {
+				out[h.to] = nd
+				heap.Push(&q, pqItem{node: h.to, dist: nd})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package metric
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"netplace/internal/graph"
+)
+
+// DefaultLazyRows is the default row-cache budget of the lazy oracle. At
+// this budget a 1M-node network costs ~2 GB of cached rows in the worst
+// case and a 50k-node network ~100 MB; tune per deployment via the
+// constructor (or core.Options.MetricRows).
+const DefaultLazyRows = 256
+
+// Lazy serves the shortest-path metric of a network by running per-source
+// Dijkstra rows on demand behind a bounded, sharded, concurrency-safe LRU
+// row cache. Peak memory is O(budget * n) instead of Θ(n²), which is what
+// lets the placement algorithms run on 50k–1M-node sparse topologies.
+//
+// Point queries consult the cache for either endpoint's row (the metric is
+// symmetric), so access patterns that keep one side in a small working set
+// — distances to the current copy set, for example — never recompute.
+// Nearest-first scans and multi-source sweeps bypass rows entirely and run
+// truncated or multi-source Dijkstra on the graph.
+type Lazy struct {
+	g      *graph.Graph
+	cache  []lazyShard
+	pool   sync.Pool // *graph.Scanner
+	budget int
+}
+
+const lazyShards = 16
+
+type lazyShard struct {
+	mu    sync.Mutex
+	rows  map[int]*lazyRow
+	order []int // LRU order, least recent first; len <= cap
+	cap   int
+}
+
+type lazyRow struct {
+	once sync.Once
+	row  atomic.Pointer[[]float64]
+}
+
+// NewLazy returns a lazy oracle over g with a row cache bounded to
+// maxRows rows (<= 0 selects DefaultLazyRows).
+func NewLazy(g *graph.Graph, maxRows int) *Lazy {
+	if maxRows <= 0 {
+		maxRows = DefaultLazyRows
+	}
+	l := &Lazy{g: g, cache: make([]lazyShard, lazyShards), budget: maxRows}
+	// Distribute the budget exactly: total capacity sums to maxRows (tiny
+	// budgets must not be exceeded shard by shard).
+	for i := range l.cache {
+		perShard := maxRows / lazyShards
+		if i < maxRows%lazyShards {
+			perShard++
+		}
+		l.cache[i] = lazyShard{rows: make(map[int]*lazyRow), cap: perShard}
+	}
+	l.pool.New = func() interface{} { return graph.NewScanner(g) }
+	return l
+}
+
+// shardOf mixes the node id before sharding so that access patterns with a
+// regular stride (copies on a grid, say) spread across shards instead of
+// collapsing into one residue class.
+func (l *Lazy) shardOf(u int) *lazyShard {
+	h := uint32(u) * 2654435761 // Knuth multiplicative hash
+	sh := &l.cache[h>>28&(lazyShards-1)]
+	if sh.cap == 0 {
+		// A budget below lazyShards leaves some shards empty; fall back to
+		// the first non-empty shard for those ids.
+		for i := range l.cache {
+			if l.cache[i].cap > 0 {
+				return &l.cache[i]
+			}
+		}
+	}
+	return sh
+}
+
+// N returns the number of nodes.
+func (l *Lazy) N() int { return l.g.N() }
+
+// Kind reports the lazy backend.
+func (l *Lazy) Kind() Kind { return KindLazy }
+
+// Budget returns the row-cache budget in rows.
+func (l *Lazy) Budget() int { return l.budget }
+
+// Row returns the distance row of u, computing it with a single-source
+// Dijkstra on a cache miss. The returned slice is shared with the cache;
+// callers must not modify it. It remains valid after eviction (eviction
+// only drops the cache's reference).
+func (l *Lazy) Row(u int) []float64 {
+	sh := l.shardOf(u)
+	sh.mu.Lock()
+	e, ok := sh.rows[u]
+	if !ok {
+		e = &lazyRow{}
+		sh.rows[u] = e
+		sh.order = append(sh.order, u)
+		if len(sh.order) > sh.cap {
+			evict := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.rows, evict)
+		}
+	} else {
+		sh.touch(u)
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		row, _ := l.g.Dijkstra(u)
+		e.row.Store(&row)
+	})
+	return *e.row.Load()
+}
+
+// touch moves u to the most-recent end of the shard's LRU order. Called
+// with the shard lock held; the order slice is at most cap entries, so the
+// linear move is cheap.
+func (sh *lazyShard) touch(u int) {
+	for i, v := range sh.order {
+		if v == u {
+			copy(sh.order[i:], sh.order[i+1:])
+			sh.order[len(sh.order)-1] = u
+			return
+		}
+	}
+}
+
+// peek returns u's row if it is cached and already computed, refreshing its
+// LRU recency on a hit (point-query workloads must keep their hot rows
+// alive, not decay to insertion-order FIFO).
+func (l *Lazy) peek(u int) ([]float64, bool) {
+	sh := l.shardOf(u)
+	sh.mu.Lock()
+	e, ok := sh.rows[u]
+	if ok {
+		sh.touch(u)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	p := e.row.Load()
+	if p == nil {
+		return nil, false
+	}
+	return *p, true
+}
+
+// Dist returns d(u, v). Because the metric is symmetric it is served from
+// whichever endpoint's row is already cached, and computes u's row
+// otherwise.
+func (l *Lazy) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if row, ok := l.peek(u); ok {
+		return row[v]
+	}
+	if row, ok := l.peek(v); ok {
+		return row[u]
+	}
+	return l.Row(u)[v]
+}
+
+// ScanNear visits nodes in nondecreasing distance from v with a truncated
+// Dijkstra: stopping early pays only for the explored ball.
+func (l *Lazy) ScanNear(v int, fn func(u int, d float64) bool) {
+	sc := l.pool.Get().(*graph.Scanner)
+	sc.Scan(v, fn)
+	l.pool.Put(sc)
+}
+
+// NearestOf returns every node's distance to the nearest source via one
+// multi-source Dijkstra.
+func (l *Lazy) NearestOf(sources []int) []float64 {
+	d, _ := l.g.DijkstraFrom(sources)
+	return d
+}
+
+// ImproveNearest folds src into near with a pruned Dijkstra that explores
+// only the region src improves.
+func (l *Lazy) ImproveNearest(src int, near []float64) {
+	l.g.ImproveNearest(src, near)
+}

@@ -2,16 +2,24 @@
 // costs and the request-radius machinery of Section 2.1 of the paper: the
 // average distance d(v, z) to the z closest requests, the write radius
 // rw(v), and the storage radius rs(v) with its storage number zs(v).
+//
+// Distances are served through the pluggable Oracle interface with three
+// backends: Space (dense matrix, the historical representation), Lazy
+// (per-source rows computed on demand behind a bounded LRU cache), and
+// TreeMetric (O(1) LCA distances on tree networks). The radius machinery is
+// written against nearest-first scans, so on lazy backends it only pays for
+// the ball each node actually needs instead of a full sorted row.
 package metric
 
 import (
 	"math"
-	"sort"
 )
 
 // Space is a finite metric space over nodes 0..N-1, given by a dense
-// distance matrix. It is typically the shortest-path closure of a network's
-// edge fees ct (see graph.AllPairs), which the paper shows is a metric.
+// distance matrix — the Oracle backend of choice for small networks, where
+// Θ(n²) memory is cheap and every query is an array read. It is typically
+// the shortest-path closure of a network's edge fees ct (see
+// graph.AllPairs), which the paper shows is a metric.
 type Space struct {
 	D [][]float64
 }
@@ -24,6 +32,12 @@ func (s *Space) N() int { return len(s.D) }
 
 // Dist returns the distance between u and v.
 func (s *Space) Dist(u, v int) float64 { return s.D[u][v] }
+
+// Row returns the distance row of u. Callers must not modify it.
+func (s *Space) Row(u int) []float64 { return s.D[u] }
+
+// Kind reports the dense backend.
+func (s *Space) Kind() Kind { return KindDense }
 
 // Check verifies the metric axioms up to tolerance eps: non-negativity,
 // identity, symmetry, and the triangle inequality. It returns false on the
@@ -55,11 +69,19 @@ func (s *Space) Check(eps float64) bool {
 // Median returns the 1-median of the space under non-negative node weights:
 // the node v minimising sum_u weight[u] * d(v, u), and that minimum value.
 func (s *Space) Median(weight []float64) (int, float64) {
+	return Median(s, weight)
+}
+
+// Median returns the 1-median of the oracle metric under non-negative node
+// weights. O(n) row fetches; inherently quadratic work.
+func Median(o Oracle, weight []float64) (int, float64) {
 	best, bestCost := -1, math.Inf(1)
-	for v := 0; v < s.N(); v++ {
+	n := o.N()
+	for v := 0; v < n; v++ {
+		row := o.Row(v)
 		c := 0.0
-		for u := 0; u < s.N(); u++ {
-			c += weight[u] * s.D[v][u]
+		for u := 0; u < n; u++ {
+			c += weight[u] * row[u]
 		}
 		if c < bestCost {
 			best, bestCost = v, c
@@ -97,53 +119,31 @@ type Radii struct {
 	ZS int64
 }
 
-// scanner computes d(v, z) for increasing z in O(n log n) per node by
-// sorting nodes by distance from v and walking the request multiset with a
-// running prefix sum.
-type scanner struct {
-	order []int     // nodes sorted by distance from v
-	dists []float64 // distance of order[i] from v
-}
-
-func newScanner(s *Space, v int) *scanner {
-	n := s.N()
-	sc := &scanner{order: make([]int, n), dists: make([]float64, n)}
-	for i := 0; i < n; i++ {
-		sc.order[i] = i
-	}
-	row := s.D[v]
-	sort.SliceStable(sc.order, func(a, b int) bool { return row[sc.order[a]] < row[sc.order[b]] })
-	for i, u := range sc.order {
-		sc.dists[i] = row[u]
-	}
-	return sc
-}
-
 // AvgDist computes d(v, z): the average distance from v to the z distinct
 // requests closest to v. z must satisfy 0 <= z <= total requests; d(v, 0)
-// is defined as 0.
-func AvgDist(s *Space, req Requests, v int, z int64) float64 {
+// is defined as 0. The scan stops as soon as z requests are gathered.
+func AvgDist(o Oracle, req Requests, v int, z int64) float64 {
 	if z == 0 {
 		return 0
 	}
-	sc := newScanner(s, v)
 	sum, taken := 0.0, int64(0)
-	for i, u := range sc.order {
+	ScanNear(o, v, func(u int, d float64) bool {
 		c := req.Count[u]
 		if c == 0 {
-			continue
+			return true
 		}
 		take := c
 		if taken+take > z {
 			take = z - taken
 		}
-		sum += float64(take) * sc.dists[i]
+		sum += float64(take) * d
 		taken += take
-		if taken == z {
-			return sum / float64(z)
-		}
+		return taken < z
+	})
+	if taken < z {
+		panic("metric: AvgDist z exceeds total requests")
 	}
-	panic("metric: AvgDist z exceeds total requests")
+	return sum / float64(z)
 }
 
 // ComputeRadii evaluates rw, rs and zs for every node. writes is the total
@@ -156,66 +156,80 @@ func AvgDist(s *Space, req Requests, v int, z int64) float64 {
 // If no finite zs exists (cs so large that even all requests are too few),
 // zs is set past the total request count and rs to the largest average
 // distance, which makes the node maximally unattractive for extra copies.
-func ComputeRadii(s *Space, req Requests, writes int64, cs []float64) []Radii {
-	n := s.N()
+//
+// Each node's scan terminates as soon as both radii are resolved, so on a
+// lazy backend the cost per node is the request ball around it, not Θ(n).
+func ComputeRadii(o Oracle, req Requests, writes int64, cs []float64) []Radii {
+	n := o.N()
 	total := req.Total()
 	out := make([]Radii, n)
 	for v := 0; v < n; v++ {
-		sc := newScanner(s, v)
-		out[v] = radiiForNode(sc, req, writes, total, cs[v])
+		out[v] = radiiForNode(o, req, v, writes, total, cs[v])
 	}
 	return out
 }
 
-// radiiForNode does the per-node scan. It walks requests in ascending
-// distance maintaining z (count so far) and sum (distance mass so far), so
-// d(v, z) = sum / z at every prefix.
-func radiiForNode(sc *scanner, req Requests, writes, total int64, storeCost float64) Radii {
+// radiiForNode walks requests in ascending distance from v, maintaining z
+// (count so far) and sum (distance mass so far), so d(v, z) = sum / z at
+// every prefix. The write-radius and storage-number prefixes are tracked in
+// the same pass; the scan stops once both are resolved.
+func radiiForNode(o Oracle, req Requests, v int, writes, total int64, storeCost float64) Radii {
 	var r Radii
-	// Write radius: d(v, W).
-	if writes > 0 {
-		r.RW = avgFromScan(sc, req, writes)
-	}
-	// Storage number: smallest zs with cs < zs * d(v, zs); equivalently walk
-	// z upward until z * d(v,z) exceeds cs.
-	// d(v,z) is nondecreasing in z, so z*d(v,z) is strictly increasing once
-	// d > 0; a linear scan over the distinct distances suffices.
-	// Observe z * d(v, z) = (prefix sum of the z smallest request
-	// distances), so zs is the smallest z whose distance prefix sum
-	// exceeds cs(v).
+	// Write radius accumulation toward d(v, W).
+	rwSum, rwTaken := 0.0, int64(0)
+	rwDone := writes == 0
+	// Storage-number accumulation: zs is the smallest z whose distance
+	// prefix sum exceeds cs(v), because z * d(v, z) = (prefix sum of the z
+	// smallest request distances).
 	var z int64
 	sum := 0.0
+	lastD := 0.0
 	found := false
-	for i := 0; i < len(sc.order) && !found; i++ {
-		c := req.Count[sc.order[i]]
+
+	ScanNear(o, v, func(u int, d float64) bool {
+		c := req.Count[u]
 		if c == 0 {
-			continue
+			return true
 		}
-		d := sc.dists[i]
-		// Requests arrive one at a time at distance d; check the defining
-		// inequality after each. Batch: after taking k of them,
-		// z' = z + k, sum' = sum + k*d, d(v, z') = sum'/z'.
-		// We need the smallest z' with z' * d(v, z') > cs, i.e.
-		// sum + k*d > cs  =>  k > (cs - sum) / d  (d > 0).
-		if d == 0 {
-			z += c
-			continue // z*d(v,z) stays sum; cannot exceed cs yet unless sum>cs
+		if !rwDone {
+			take := c
+			if rwTaken+take > writes {
+				take = writes - rwTaken
+			}
+			rwSum += float64(take) * d
+			rwTaken += take
+			if rwTaken == writes {
+				r.RW = rwSum / float64(writes)
+				rwDone = true
+			}
 		}
-		var k int64
-		if sum > storeCost {
-			k = 1
-		} else {
-			k = int64(math.Floor((storeCost-sum)/d)) + 1
+		if !found {
+			// Requests arrive c at a time at distance d; we need the
+			// smallest z' with z' * d(v, z') > cs, i.e. sum + k*d > cs
+			// => k > (cs - sum) / d (for d > 0).
+			if d == 0 {
+				z += c
+			} else {
+				var k int64
+				if sum > storeCost {
+					k = 1
+				} else {
+					k = int64(math.Floor((storeCost-sum)/d)) + 1
+				}
+				if k <= c {
+					z += k
+					sum += float64(k) * d
+					lastD = d
+					found = true
+				} else {
+					z += c
+					sum += float64(c) * d
+				}
+			}
 		}
-		if k <= c {
-			z += k
-			sum += float64(k) * d
-			found = true
-			break
-		}
-		z += c
-		sum += float64(c) * d
-	}
+		return !(rwDone && found)
+	})
+
 	if !found {
 		// cs(v) >= z * d(v, z) for all feasible z: no finite storage number.
 		// Use zs = total+1 sentinel and rs = d(v, total) so that
@@ -229,11 +243,9 @@ func radiiForNode(sc *scanner, req Requests, writes, total int64, storeCost floa
 	r.ZS = z
 	// rs in [d(v, zs-1), d(v, zs)) with (zs-1)*rs <= cs < zs*rs.
 	dz := sum / float64(z) // d(v, zs)
-	var dzm float64        // d(v, zs-1)
+	var dzm float64        // d(v, zs-1): drop the last request taken, at lastD.
 	if z > 1 {
-		// recompute d(v, zs-1) from the same scan state: sum excludes the
-		// last request taken, which sat at distance lastD.
-		dzm = avgFromScan(sc, req, z-1)
+		dzm = (sum - lastD) / float64(z-1)
 	}
 	// Feasible interval for rs: [max(dzm, cs/zs-epsilonish), min(dz, cs/(zs-1))].
 	lo := dzm
@@ -256,28 +268,4 @@ func radiiForNode(sc *scanner, req Requests, writes, total int64, storeCost floa
 	}
 	r.RS = lo
 	return r
-}
-
-// avgFromScan computes d(v, z) from a prepared scanner.
-func avgFromScan(sc *scanner, req Requests, z int64) float64 {
-	if z == 0 {
-		return 0
-	}
-	sum, taken := 0.0, int64(0)
-	for i, u := range sc.order {
-		c := req.Count[u]
-		if c == 0 {
-			continue
-		}
-		take := c
-		if taken+take > z {
-			take = z - taken
-		}
-		sum += float64(take) * sc.dists[i]
-		taken += take
-		if taken == z {
-			return sum / float64(z)
-		}
-	}
-	panic("metric: avgFromScan z exceeds total requests")
 }

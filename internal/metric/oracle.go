@@ -1,0 +1,245 @@
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// Kind identifies a distance-oracle backend, letting algorithms choose
+// between point-query and scan-based formulations of the same step.
+type Kind int
+
+const (
+	// KindDense backs distances with a materialized n x n matrix: point
+	// queries and rows are free, memory is Θ(n²).
+	KindDense Kind = iota
+	// KindLazy computes per-source shortest-path rows on demand behind a
+	// bounded LRU cache: memory is bounded by the cache budget, point
+	// queries cost a cached row.
+	KindLazy
+	// KindTree answers distances on tree networks in O(1) via LCA depths,
+	// with O(n) preprocessing and no distance rows stored at all.
+	KindTree
+)
+
+// String names the backend kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDense:
+		return "dense"
+	case KindLazy:
+		return "lazy"
+	case KindTree:
+		return "tree"
+	}
+	return "unknown"
+}
+
+// Oracle is a finite metric over nodes 0..N-1: the shortest-path closure of
+// a network's transmission fees, served by a pluggable backend. All
+// implementations in this package assume a symmetric metric
+// (Dist(u, v) == Dist(v, u)), which holds for undirected networks.
+//
+// Row returns the full distance row of u; callers must treat it as
+// read-only. Backends may cache and evict rows, so callers should not
+// retain rows across unrelated operations when memory matters.
+type Oracle interface {
+	N() int
+	Dist(u, v int) float64
+	Row(u int) []float64
+	Kind() Kind
+}
+
+// NearScanner is an optional Oracle capability: visit nodes in
+// nondecreasing distance from v, stopping when fn returns false. Graph
+// backends implement it with a truncated Dijkstra, so an early-stopping
+// scan pays only for the ball it explores.
+type NearScanner interface {
+	ScanNear(v int, fn func(u int, d float64) bool)
+}
+
+// NearestSet is an optional Oracle capability: the distance from every node
+// to its nearest member of sources, in one pass. Graph backends implement
+// it with a multi-source Dijkstra.
+type NearestSet interface {
+	NearestOf(sources []int) []float64
+}
+
+// NearImprover is an optional Oracle capability: fold source src into an
+// existing nearest-source field near (near[v] = min(near[v], d(src, v))).
+// Graph backends implement it with a pruned Dijkstra that explores only the
+// region src improves.
+type NearImprover interface {
+	ImproveNearest(src int, near []float64)
+}
+
+// ScanNear visits nodes in nondecreasing distance from v, calling
+// fn(u, d) until it returns false. It uses the oracle's native scanner when
+// available and otherwise sorts the distance row of v (ties broken toward
+// the lower node id, matching the historical dense scanner).
+func ScanNear(o Oracle, v int, fn func(u int, d float64) bool) {
+	if sc, ok := o.(NearScanner); ok {
+		sc.ScanNear(v, fn)
+		return
+	}
+	row := o.Row(v)
+	n := o.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+	for _, u := range order {
+		if !fn(u, row[u]) {
+			return
+		}
+	}
+}
+
+// NearestOf returns, for every node, the distance to the nearest member of
+// sources (+Inf for an empty source set). Backends with a native
+// multi-source sweep use it; the fallback folds one source row at a time.
+func NearestOf(o Oracle, sources []int) []float64 {
+	if ns, ok := o.(NearestSet); ok && len(sources) > 0 {
+		return ns.NearestOf(sources)
+	}
+	near := make([]float64, o.N())
+	for v := range near {
+		near[v] = math.Inf(1)
+	}
+	for _, s := range sources {
+		row := o.Row(s)
+		for v, d := range row {
+			if d < near[v] {
+				near[v] = d
+			}
+		}
+	}
+	return near
+}
+
+// ImproveNearest folds src into near in place: near[v] = min(near[v],
+// d(src, v)).
+func ImproveNearest(o Oracle, src int, near []float64) {
+	if im, ok := o.(NearImprover); ok {
+		im.ImproveNearest(src, near)
+		return
+	}
+	row := o.Row(src)
+	for v, d := range row {
+		if d < near[v] {
+			near[v] = d
+		}
+	}
+}
+
+// NearestIdx returns, for every node, the distance to and index (into
+// sources) of its nearest source, ties broken toward the earlier source —
+// the deterministic tie-break the restricted-placement machinery relies on.
+func NearestIdx(o Oracle, sources []int) (dist []float64, idx []int) {
+	n := o.N()
+	dist = make([]float64, n)
+	idx = make([]int, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		idx[v] = -1
+	}
+	for i, s := range sources {
+		row := o.Row(s)
+		for v, d := range row {
+			if d < dist[v] {
+				dist[v] = d
+				idx[v] = i
+			}
+		}
+	}
+	return dist, idx
+}
+
+// Pairwise extracts the k x k distance matrix over the given points using
+// one row fetch per point.
+func Pairwise(o Oracle, points []int) [][]float64 {
+	k := len(points)
+	d := make([][]float64, k)
+	for i, p := range points {
+		row := o.Row(p)
+		d[i] = make([]float64, k)
+		for j, q := range points {
+			d[i][j] = row[q]
+		}
+	}
+	return d
+}
+
+// PairwiseMST returns the weight of a minimum spanning tree over points
+// under the oracle metric — the paper's multicast-tree cost for updating a
+// copy set. Prim in O(k²) after k row fetches; 0 for k <= 1.
+func PairwiseMST(o Oracle, points []int) float64 {
+	if len(points) <= 1 {
+		return 0
+	}
+	return pairwisePrim(o, points, nil)
+}
+
+// PairwiseMSTTree returns the MST edges (as index pairs into points, parent
+// first) plus total weight.
+func PairwiseMSTTree(o Oracle, points []int) ([][2]int, float64) {
+	if len(points) <= 1 {
+		return nil, 0
+	}
+	var edges [][2]int
+	total := pairwisePrim(o, points, &edges)
+	return edges, total
+}
+
+func pairwisePrim(o Oracle, points []int, edges *[][2]int) float64 {
+	d := Pairwise(o, points)
+	k := len(points)
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	from := make([]int, k)
+	for i := range best {
+		best[i] = math.Inf(1)
+		from[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		best[j] = d[0][j]
+		from[j] = 0
+	}
+	total := 0.0
+	for it := 1; it < k; it++ {
+		sel := -1
+		for j := 0; j < k; j++ {
+			if !inTree[j] && (sel == -1 || best[j] < best[sel]) {
+				sel = j
+			}
+		}
+		if edges != nil {
+			*edges = append(*edges, [2]int{from[sel], sel})
+		}
+		total += best[sel]
+		inTree[sel] = true
+		for j := 0; j < k; j++ {
+			if !inTree[j] && d[sel][j] < best[j] {
+				best[j] = d[sel][j]
+				from[j] = sel
+			}
+		}
+	}
+	return total
+}
+
+// Materialize returns the full dense distance matrix of the oracle. It
+// defeats the purpose of a lazy backend — Θ(n²) memory — and exists for the
+// small-n exact solvers and tests that genuinely need a matrix.
+func Materialize(o Oracle) [][]float64 {
+	n := o.N()
+	d := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		row := o.Row(v)
+		d[v] = make([]float64, n)
+		copy(d[v], row)
+	}
+	return d
+}

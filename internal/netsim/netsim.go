@@ -17,7 +17,7 @@ import (
 	"math"
 
 	"netplace/internal/core"
-	"netplace/internal/graph"
+	"netplace/internal/metric"
 )
 
 // Stats aggregates a simulation run.
@@ -146,7 +146,7 @@ func New(in *core.Instance, p core.Placement) (*Simulator, error) {
 			s.edgeOf[k2] = id
 		}
 	}
-	dist := in.Dist()
+	o := in.Metric()
 	nobj := len(in.Objects)
 	s.nearest = make([][]int, nobj)
 	s.paths = make([][][]int, nobj)
@@ -191,7 +191,7 @@ func New(in *core.Instance, p core.Placement) (*Simulator, error) {
 		for ci, c := range copies {
 			s.copyIdx[oi][c] = ci
 		}
-		edges, _ := graph.MetricMSTTree(dist, copies)
+		edges, _ := metric.PairwiseMSTTree(o, copies)
 		children := make([][]int, len(copies))
 		for _, e := range edges {
 			children[e[0]] = append(children[e[0]], e[1])

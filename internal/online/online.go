@@ -18,7 +18,7 @@ import (
 	"math"
 
 	"netplace/internal/core"
-	"netplace/internal/graph"
+	"netplace/internal/metric"
 	"netplace/internal/workload"
 )
 
@@ -65,7 +65,7 @@ func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
 	if cfg.ReplicateFactor <= 0 {
 		cfg.ReplicateFactor = 2
 	}
-	dist := in.Dist()
+	o := in.Metric()
 	n := in.N()
 	states := make([]*state, len(in.Objects))
 
@@ -98,18 +98,22 @@ func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
 				s.heldSteps[v]++
 			}
 		}
-		// nearest copy
+		// nearest copy (point queries hit the cached rows of the live
+		// copy set on a lazy backend)
 		best, bestD := -1, math.Inf(1)
 		for v := 0; v < n; v++ {
-			if s.has[v] && dist[r.V][v] < bestD {
-				best, bestD = v, dist[r.V][v]
+			if !s.has[v] {
+				continue
+			}
+			if d := o.Dist(v, r.V); d < bestD {
+				best, bestD = v, d
 			}
 		}
 		st.Transmission += size * bestD
 		if r.Write {
 			// multicast update over the current copies
 			if s.count > 1 {
-				st.Transmission += size * graph.MetricMST(dist, copySet(s))
+				st.Transmission += size * metric.PairwiseMST(o, copySet(s))
 			}
 			// invalidate idle replicas (classic write-invalidate pressure)
 			if cfg.DropIdle {
@@ -173,7 +177,7 @@ func copySet(s *state) []int {
 // with identical accounting (per-request transmission, full storage fee),
 // so online and static strategies are directly comparable.
 func StaticCost(in *core.Instance, p core.Placement, seq []workload.Request) float64 {
-	dist := in.Dist()
+	o := in.Metric()
 	total := 0.0
 	for oi := range in.Objects {
 		size := in.Objects[oi].Scale()
@@ -183,13 +187,13 @@ func StaticCost(in *core.Instance, p core.Placement, seq []workload.Request) flo
 	}
 	mst := make([]float64, len(in.Objects))
 	for oi := range in.Objects {
-		mst[oi] = graph.MetricMST(dist, p.Copies[oi])
+		mst[oi] = metric.PairwiseMST(o, p.Copies[oi])
 	}
 	for _, r := range seq {
 		size := in.Objects[r.Obj].Scale()
 		best := math.Inf(1)
 		for _, c := range p.Copies[r.Obj] {
-			if d := dist[r.V][c]; d < best {
+			if d := o.Dist(c, r.V); d < best {
 				best = d
 			}
 		}

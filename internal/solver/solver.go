@@ -20,6 +20,7 @@ import (
 
 	"netplace/internal/core"
 	"netplace/internal/graph"
+	"netplace/internal/metric"
 )
 
 // Exact holds per-object exact solutions.
@@ -85,7 +86,7 @@ func OptimalRestricted(in *core.Instance) []Exact {
 	if n > 20 {
 		panic("solver: instance too large for enumeration")
 	}
-	dist := in.Dist()
+	dist := metric.Materialize(in.Metric())
 	// Precompute MST weight for every subset incrementally: mst over a
 	// subset is recomputed O(k^2); total sum_k C(n,k) k^2 is fine to n=16.
 	out := make([]Exact, len(in.Objects))
@@ -151,7 +152,7 @@ func OptimalUnrestricted(in *core.Instance) []Exact {
 	if n > 16 {
 		panic("solver: instance too large for Steiner enumeration")
 	}
-	dist := in.Dist()
+	dist := metric.Materialize(in.Metric())
 	dw := steinerTable(dist)
 	out := make([]Exact, len(in.Objects))
 	for i := range in.Objects {

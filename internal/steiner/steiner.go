@@ -23,33 +23,34 @@ func ApproxMST(dist [][]float64, terminals []int) float64 {
 //
 //	S[T][v] = min cost of a tree spanning terminal subset T plus node v.
 //
-// Complexity O(3^k n + 2^k n^2 + n (m + n) log n) for k terminals; practical
-// for k <= ~14. Terminals must be non-empty; a single terminal costs 0.
+// Complexity O(3^k n + 2^k (m + n) log n) for k terminals; practical for
+// k <= ~14. Terminals must be non-empty; a single terminal costs 0.
+//
+// Only the k terminal rows of the metric are ever computed (one Dijkstra
+// each), and the propagation step runs as a potential-seeded Dijkstra on
+// the graph instead of a dense-matrix relaxation, so Exact works on large
+// sparse networks without an all-pairs matrix.
 func Exact(g *graph.Graph, terminals []int) float64 {
 	k := len(terminals)
 	if k <= 1 {
 		return 0
 	}
 	n := g.N()
-	dist := g.AllPairs()
 
 	full := 1<<k - 1
 	// dp[mask][v]: min tree weight spanning terminals in mask united with v.
 	dp := make([][]float64, full+1)
-	for m := range dp {
-		dp[m] = make([]float64, n)
-		for v := range dp[m] {
-			dp[m][v] = math.Inf(1)
-		}
-	}
 	for i, t := range terminals {
-		for v := 0; v < n; v++ {
-			dp[1<<i][v] = dist[t][v]
-		}
+		row, _ := g.Dijkstra(t)
+		dp[1<<i] = row
 	}
 	for mask := 1; mask <= full; mask++ {
 		if mask&(mask-1) == 0 {
 			continue // singletons initialised above
+		}
+		dp[mask] = make([]float64, n)
+		for v := range dp[mask] {
+			dp[mask][v] = math.Inf(1)
 		}
 		// Merge step: combine two disjoint submasks meeting at v.
 		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
@@ -64,16 +65,9 @@ func Exact(g *graph.Graph, terminals []int) float64 {
 			}
 		}
 		// Propagation step: best meeting point may be elsewhere; relax by
-		// shortest paths (a full O(n^2) relaxation suffices and is simple).
-		for v := 0; v < n; v++ {
-			best := dp[mask][v]
-			for u := 0; u < n; u++ {
-				if c := dp[mask][u] + dist[u][v]; c < best {
-					best = c
-				}
-			}
-			dp[mask][v] = best
-		}
+		// shortest paths (min_u dp[mask][u] + d(u, v) is exactly a
+		// multi-source Dijkstra with dp[mask] as initial potentials).
+		dp[mask] = g.Relax(dp[mask])
 	}
 	best := math.Inf(1)
 	for v := 0; v < n; v++ {

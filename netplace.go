@@ -23,6 +23,7 @@ package netplace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -53,9 +54,26 @@ type (
 // fees, and per-object request frequencies.
 var NewInstance = core.NewInstance
 
-// Solve runs the paper's approximation algorithm with default parameters
-// (local-search facility location, the 5·rs and 4·rw thresholds of
-// Section 2.2).
+// MetricBackend selects the distance-oracle backend behind an instance's
+// shortest-path metric (Options.Metric). The default, MetricAuto, picks a
+// dense matrix for small networks, the O(1) LCA oracle for large tree
+// networks, and a lazily computed row cache for everything bigger — so
+// placements on 50k+-node sparse networks never materialize the Θ(n²)
+// all-pairs matrix.
+type MetricBackend = core.MetricBackend
+
+// Distance-oracle backends for Options.Metric.
+const (
+	MetricAuto  = core.MetricAuto
+	MetricDense = core.MetricDense
+	MetricLazy  = core.MetricLazy
+	MetricTree  = core.MetricTree
+)
+
+// Solve runs the paper's approximation algorithm with default parameters:
+// the 5·rs and 4·rw thresholds of Section 2.2, with the phase-1 facility
+// solver auto-selected by size (local search up to 2048 nodes, the
+// ball-scanning Mettu–Plaxton beyond — see Options.FL).
 func Solve(in *Instance) Placement {
 	return core.Approximate(in, core.Options{})
 }
@@ -67,45 +85,57 @@ func SolveWithOptions(in *Instance, opt Options) Placement {
 
 // SolveTree computes an exact optimal placement on tree networks using the
 // Section 3 dynamic program. It returns an error if the network is not a
-// tree. Costs follow the Section 3 model in which a write pays the minimal
-// subtree spanning the copies and the writer.
+// tree or if any per-object solve produces an ill-formed result. Costs
+// follow the Section 3 model in which a write pays the minimal subtree
+// spanning the copies and the writer.
 func SolveTree(in *Instance) (Placement, error) {
 	if !in.G.IsTree() {
 		return Placement{}, fmt.Errorf("netplace: network with %d nodes / %d edges is not a tree", in.G.N(), in.G.M())
 	}
 	t := tree.Build(in.G, 0)
 	p := Placement{Copies: make([][]int, len(in.Objects))}
+	costs := make([]float64, len(in.Objects))
 	// Objects are independent (the paper solves them one at a time); fan
 	// out across GOMAXPROCS workers. The Tree structure is read-only
 	// during Solve, so sharing it is safe.
+	solveOne := func(i int) {
+		obj := &in.Objects[i]
+		p.Copies[i], costs[i] = t.Solve(in.Storage, obj.Reads, obj.Writes)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(in.Objects) {
 		workers = len(in.Objects)
 	}
 	if workers <= 1 {
 		for i := range in.Objects {
-			obj := &in.Objects[i]
-			p.Copies[i], _ = t.Solve(in.Storage, obj.Reads, obj.Writes)
+			solveOne(i)
 		}
-		return p, nil
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(in.Objects) {
-					return
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(in.Objects) {
+						return
+					}
+					solveOne(i)
 				}
-				obj := &in.Objects[i]
-				p.Copies[i], _ = t.Solve(in.Storage, obj.Reads, obj.Writes)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	// The DP's optimum is a witness for each result; an empty copy set or a
+	// non-finite cost means the solve failed and must not pass silently.
+	for i := range in.Objects {
+		if len(p.Copies[i]) == 0 || math.IsInf(costs[i], 0) || math.IsNaN(costs[i]) {
+			return Placement{}, fmt.Errorf("netplace: tree DP failed on object %d (%d copies, cost %v)",
+				i, len(p.Copies[i]), costs[i])
+		}
+	}
 	return p, nil
 }
 
