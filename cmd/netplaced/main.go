@@ -1,0 +1,93 @@
+// Command netplaced serves the netplace placement algorithms over
+// HTTP/JSON: upload an instance once, then query placements, cost
+// breakdowns, what-if variants, and message-level simulations repeatedly
+// without re-parsing or re-solving — identical solves are deduplicated
+// in flight and served from a result cache.
+//
+// Usage:
+//
+//	netplaced [-addr :8723] [-mem-budget bytes] [-cache entries]
+//	          [-workers n] [-solve-timeout 5m]
+//
+// Endpoints (see internal/service.Server for bodies):
+//
+//	POST   /instances                 upload an instance (JSON wire format)
+//	GET    /instances                 list resident instances
+//	GET    /instances/{id}            instance record
+//	DELETE /instances/{id}            drop an instance
+//	POST   /instances/{id}/solve      solve (approx, tree, optimal, baselines)
+//	POST   /instances/{id}/whatif     batched options variants
+//	POST   /instances/{id}/cost       price a client-supplied placement
+//	POST   /instances/{id}/simulate   message-level replay of the workload
+//	GET    /healthz                   liveness
+//	GET    /statz                     cache/solve/eviction statistics
+//
+// A smoke session against a running server:
+//
+//	curl -s localhost:8723/instances -d '{"name":"demo","instance":{...}}'
+//	curl -s localhost:8723/instances/<id>/solve -d '{"options":{"algo":"approx"}}'
+//	curl -s localhost:8723/statz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netplace/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8723", "listen address")
+		mem      = flag.Int64("mem-budget", 0, "resident-instance memory budget in estimated bytes (0: default, <0: unbounded)")
+		cache    = flag.Int("cache", 0, "solve-result cache entries (0: default, <0: disable)")
+		workers  = flag.Int("workers", 0, "max concurrently executing solver runs (0: GOMAXPROCS)")
+		timeout  = flag.Duration("solve-timeout", 0, "per-solve wall-clock cap (0: default, <0: none)")
+		maxBatch = flag.Int("max-batch", 0, "max variants per what-if request (0: default)")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MemoryBudget:     *mem,
+		CacheEntries:     *cache,
+		Workers:          *workers,
+		SolveTimeout:     *timeout,
+		MaxBatchVariants: *maxBatch,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests briefly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("netplaced listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "netplaced:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("netplaced shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "netplaced: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -11,6 +11,10 @@
 // network; all other algorithms work on arbitrary connected networks.
 // -simulate replays the workload through the message-level simulator and
 // prints the metered bill next to the analytic cost.
+//
+// Every failure — including a failed -o or -dot write and a simulation
+// error mid-replay — exits non-zero; a zero exit means the full report and
+// all requested outputs landed.
 package main
 
 import (
@@ -28,6 +32,15 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placer:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole CLI; every error propagates here so main is the
+// only place that decides the exit code.
+func run() error {
 	var (
 		inPath   = flag.String("in", "", "instance JSON (required)")
 		algo     = flag.String("algo", "approx", "approx|tree|optimal|single|full|greedy|fl-only")
@@ -38,16 +51,16 @@ func main() {
 	)
 	flag.Parse()
 	if *inPath == "" {
-		fatal(fmt.Errorf("-in is required"))
+		return fmt.Errorf("-in is required")
 	}
 	f, err := os.Open(*inPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	in, err := encode.ReadInstance(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	flSolvers := map[string]facility.Solver{
@@ -58,7 +71,7 @@ func main() {
 	}
 	fl, ok := flSolvers[*flName]
 	if !ok {
-		fatal(fmt.Errorf("unknown facility location algorithm %q", *flName))
+		return fmt.Errorf("unknown facility location algorithm %q", *flName)
 	}
 
 	var p core.Placement
@@ -67,7 +80,7 @@ func main() {
 		p = core.Approximate(in, core.Options{FL: fl})
 	case "tree":
 		if !in.G.IsTree() {
-			fatal(fmt.Errorf("algo=tree requires a tree network (got %d nodes, %d edges)", in.G.N(), in.G.M()))
+			return fmt.Errorf("algo=tree requires a tree network (got %d nodes, %d edges)", in.G.N(), in.G.M())
 		}
 		t := tree.Build(in.G, 0)
 		p = core.Placement{Copies: make([][]int, len(in.Objects))}
@@ -79,7 +92,7 @@ func main() {
 		}
 	case "optimal":
 		if in.G.N() > 18 {
-			fatal(fmt.Errorf("algo=optimal enumerates all copy sets; limited to 18 nodes (got %d)", in.G.N()))
+			return fmt.Errorf("algo=optimal enumerates all copy sets; limited to 18 nodes (got %d)", in.G.N())
 		}
 		sols := solver.OptimalRestricted(in)
 		p = core.Placement{Copies: make([][]int, len(in.Objects))}
@@ -95,7 +108,7 @@ func main() {
 	case "fl-only":
 		p = core.FacilityOnly(in, fl)
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
 	for i := range in.Objects {
@@ -110,7 +123,7 @@ func main() {
 	if *simulate {
 		sim, err := netsim.New(in, p)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("simulate: %w", err)
 		}
 		st := sim.Run()
 		fmt.Printf("simulated: %d requests, %d messages, transmission %.3f, storage %.3f, total %.3f (analytic %.3f)\n",
@@ -118,22 +131,14 @@ func main() {
 	}
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := encode.WritePlacement(f, in, p); err != nil {
-			fatal(err)
+		if err := writeFile(*outPath, func(f *os.File) error {
+			return encode.WritePlacement(f, in, p)
+		}); err != nil {
+			return fmt.Errorf("-o %s: %w", *outPath, err)
 		}
 	}
 
 	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
 		// highlight the union of all objects' copies
 		seen := map[int]bool{}
 		var copies []int
@@ -145,10 +150,28 @@ func main() {
 				}
 			}
 		}
-		if err := viz.WriteDot(f, in.G, viz.DotOptions{Copies: copies, Name: *algo}); err != nil {
-			fatal(err)
+		if err := writeFile(*dotPath, func(f *os.File) error {
+			return viz.WriteDot(f, in.G, viz.DotOptions{Copies: copies, Name: *algo})
+		}); err != nil {
+			return fmt.Errorf("-dot %s: %w", *dotPath, err)
 		}
 	}
+	return nil
+}
+
+// writeFile creates path, runs write against it, and closes it, reporting
+// the first error — including the Close error, which is where a full disk
+// or quota failure surfaces after buffered writes.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func name(in *core.Instance, i int) string {
@@ -164,9 +187,4 @@ func countCopies(p core.Placement) int {
 		n += len(c)
 	}
 	return n
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "placer:", err)
-	os.Exit(1)
 }

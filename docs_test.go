@@ -1,0 +1,174 @@
+package netplace_test
+
+// This file is the repository's documentation gate, run by CI alongside
+// gofmt and go vet: every package must carry a package-level doc comment,
+// and every exported symbol (type, function, method, and var/const — at
+// the declaration-group level, per godoc convention) must carry a doc
+// comment. It is a test rather than a separate linter binary so that
+// `go test ./...` enforces it without external tooling.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sourceDirs returns every directory under the module root that contains
+// non-test Go files, skipping hidden directories.
+func sourceDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// TestPackageDocComments asserts that every package has a package-level doc
+// comment on at least one of its files.
+func TestPackageDocComments(t *testing.T) {
+	for _, dir := range sourceDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package-level doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestExportedSymbolDocComments asserts that every exported top-level
+// symbol carries a doc comment. Grouped var/const declarations satisfy the
+// rule with one comment on the group; struct fields and interface methods
+// are out of scope (they document themselves through their type's comment
+// when short).
+func TestExportedSymbolDocComments(t *testing.T) {
+	var missing []string
+	for _, dir := range sourceDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					missing = append(missing, undocumented(fset, decl)...)
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("missing doc comment: %s", m)
+	}
+}
+
+// undocumented returns the exported, uncommented symbols of one top-level
+// declaration, formatted as "position: name".
+func undocumented(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		out = append(out, fmt.Sprintf("%s: %s %s", fset.Position(pos), kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverType(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return nil // method on an unexported type
+			}
+			name = recv + "." + name
+		}
+		report(d.Pos(), "func", name)
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return nil
+		}
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				// A type in a grouped decl (type ( A; B )) needs its own
+				// comment unless the group has one.
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil || groupDoc {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), d.Tok.String(), n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType extracts the receiver's type name from a method receiver
+// expression (*T, T, or generic T[...]).
+func receiverType(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

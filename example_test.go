@@ -62,6 +62,21 @@ func ExampleSolveTree() {
 	// optimal tree cost 30.5
 }
 
+// ExampleCost prices hand-picked what-if placements without solving: a
+// single copy pays WAN reads, while a copy on each side of the WAN link
+// nearly matches full replication at a third of the storage.
+func ExampleCost() {
+	in := twoSites()
+	for _, c := range [][]int{{0}, {0, 1, 2, 3, 4, 5}, {1, 4}} {
+		p := netplace.Placement{Copies: [][]int{c}}
+		fmt.Printf("copies %v cost %.1f\n", c, netplace.Cost(in, p).Total())
+	}
+	// Output:
+	// copies [0] cost 143.0
+	// copies [0 1 2 3 4 5] cost 32.0
+	// copies [1 4] cost 36.0
+}
+
 // ExampleSimulate replays every request hop by hop; the metered bill equals
 // the analytic objective.
 func ExampleSimulate() {

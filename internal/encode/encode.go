@@ -1,12 +1,20 @@
-// Package encode serialises instances and placements as JSON for the CLI
-// tools (cmd/gennet writes instances, cmd/placer reads them and writes
-// placements).
+// Package encode serialises instances and placements as JSON — the wire
+// format shared by the CLI tools (cmd/gennet writes instances, cmd/placer
+// reads them and writes placements) and the cmd/netplaced placement
+// service. It also provides stable content hashing of instances
+// (HashInstance), which the service uses as registry identity and as the
+// instance half of its solve-cache key.
 package encode
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"netplace/internal/core"
 	"netplace/internal/graph"
@@ -42,8 +50,8 @@ type PlacementJSON struct {
 	Copies map[string][]int `json:"copies"`
 }
 
-// WriteInstance serialises an instance.
-func WriteInstance(w io.Writer, in *core.Instance) error {
+// InstanceJSONOf converts an instance to its wire representation.
+func InstanceJSONOf(in *core.Instance) InstanceJSON {
 	ij := InstanceJSON{Nodes: in.G.N(), Storage: in.Storage}
 	for _, e := range in.G.Edges() {
 		ij.Edges = append(ij.Edges, EdgeJSON{U: e.U, V: e.V, W: e.W})
@@ -52,17 +60,11 @@ func WriteInstance(w io.Writer, in *core.Instance) error {
 		o := &in.Objects[i]
 		ij.Objects = append(ij.Objects, ObjectJSON{Name: o.Name, Size: o.Size, Reads: o.Reads, Writes: o.Writes})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ij)
+	return ij
 }
 
-// ReadInstance deserialises and validates an instance.
-func ReadInstance(r io.Reader) (*core.Instance, error) {
-	var ij InstanceJSON
-	if err := json.NewDecoder(r).Decode(&ij); err != nil {
-		return nil, fmt.Errorf("encode: %w", err)
-	}
+// Instance validates the wire representation and assembles an instance.
+func (ij InstanceJSON) Instance() (*core.Instance, error) {
 	if ij.Nodes <= 0 {
 		return nil, fmt.Errorf("encode: instance has %d nodes", ij.Nodes)
 	}
@@ -80,37 +82,42 @@ func ReadInstance(r io.Reader) (*core.Instance, error) {
 	return core.NewInstance(g, ij.Storage, objs)
 }
 
-// WritePlacement serialises a placement using the instance's object names.
-func WritePlacement(w io.Writer, in *core.Instance, p core.Placement) error {
+// WriteInstance serialises an instance.
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(InstanceJSONOf(in))
+}
+
+// ReadInstance deserialises and validates an instance.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var ij InstanceJSON
+	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return ij.Instance()
+}
+
+// PlacementJSONOf converts a validated placement to its wire
+// representation, keyed by the instance's object names (object-<index> for
+// unnamed objects).
+func PlacementJSONOf(in *core.Instance, p core.Placement) (PlacementJSON, error) {
 	if err := p.Validate(in); err != nil {
-		return err
+		return PlacementJSON{}, err
 	}
 	pj := PlacementJSON{Copies: make(map[string][]int, len(in.Objects))}
 	for i := range in.Objects {
-		name := in.Objects[i].Name
-		if name == "" {
-			name = fmt.Sprintf("object-%d", i)
-		}
-		pj.Copies[name] = p.Copies[i]
+		pj.Copies[objectName(in, i)] = p.Copies[i]
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(pj)
+	return pj, nil
 }
 
-// ReadPlacement deserialises a placement against an instance (objects are
-// matched by name, falling back to object-<index>).
-func ReadPlacement(r io.Reader, in *core.Instance) (core.Placement, error) {
-	var pj PlacementJSON
-	if err := json.NewDecoder(r).Decode(&pj); err != nil {
-		return core.Placement{}, fmt.Errorf("encode: %w", err)
-	}
+// Placement resolves the wire representation against an instance (objects
+// are matched by name, falling back to object-<index>) and validates it.
+func (pj PlacementJSON) Placement(in *core.Instance) (core.Placement, error) {
 	p := core.Placement{Copies: make([][]int, len(in.Objects))}
 	for i := range in.Objects {
-		name := in.Objects[i].Name
-		if name == "" {
-			name = fmt.Sprintf("object-%d", i)
-		}
+		name := objectName(in, i)
 		copies, ok := pj.Copies[name]
 		if !ok {
 			return core.Placement{}, fmt.Errorf("encode: placement missing object %q", name)
@@ -121,4 +128,100 @@ func ReadPlacement(r io.Reader, in *core.Instance) (core.Placement, error) {
 		return core.Placement{}, err
 	}
 	return p, nil
+}
+
+// objectName is the wire name of object i: its Name, or object-<i>.
+func objectName(in *core.Instance, i int) string {
+	if in.Objects[i].Name != "" {
+		return in.Objects[i].Name
+	}
+	return fmt.Sprintf("object-%d", i)
+}
+
+// WritePlacement serialises a placement using the instance's object names.
+func WritePlacement(w io.Writer, in *core.Instance, p core.Placement) error {
+	pj, err := PlacementJSONOf(in, p)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}
+
+// HashInstance returns a stable hex SHA-256 content hash of an instance.
+// The hash depends only on the problem the instance describes — node count,
+// the undirected edge multiset with fees, storage fees, and each object's
+// name, size and frequency vectors — not on edge insertion order, metric
+// backend, or any lazily computed state. Serialising an instance with
+// WriteInstance and reading it back therefore preserves the hash, which is
+// what lets the placement service use it as cache identity.
+func HashInstance(in *core.Instance) string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf, uint64(int64(v)))
+		h.Write(buf)
+	}
+	writeFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(f))
+		h.Write(buf)
+	}
+	writeString := func(s string) {
+		writeInt(len(s))
+		io.WriteString(h, s)
+	}
+	writeInt(in.G.N())
+	// Canonicalise the edge list: orient each edge low-high and sort by
+	// (u, v, fee) so graphs built in different orders hash identically.
+	edges := append([]graph.Edge(nil), in.G.Edges()...)
+	for i, e := range edges {
+		if e.U > e.V {
+			edges[i].U, edges[i].V = e.V, e.U
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		if edges[a].V != edges[b].V {
+			return edges[a].V < edges[b].V
+		}
+		return edges[a].W < edges[b].W
+	})
+	writeInt(len(edges))
+	for _, e := range edges {
+		writeInt(e.U)
+		writeInt(e.V)
+		writeFloat(e.W)
+	}
+	writeInt(len(in.Storage))
+	for _, s := range in.Storage {
+		writeFloat(s)
+	}
+	writeInt(len(in.Objects))
+	for i := range in.Objects {
+		o := &in.Objects[i]
+		writeString(o.Name)
+		writeFloat(o.Scale())
+		writeInt(len(o.Reads))
+		for _, r := range o.Reads {
+			writeInt(int(r))
+		}
+		writeInt(len(o.Writes))
+		for _, w := range o.Writes {
+			writeInt(int(w))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ReadPlacement deserialises a placement against an instance (objects are
+// matched by name, falling back to object-<index>).
+func ReadPlacement(r io.Reader, in *core.Instance) (core.Placement, error) {
+	var pj PlacementJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return core.Placement{}, fmt.Errorf("encode: %w", err)
+	}
+	return pj.Placement(in)
 }

@@ -9,6 +9,7 @@ import (
 
 	"netplace/internal/core"
 	"netplace/internal/gen"
+	"netplace/internal/graph"
 	"netplace/internal/workload"
 )
 
@@ -48,6 +49,52 @@ func TestInstanceRoundTrip(t *testing.T) {
 			back.Objects[i].Name != in.Objects[i].Name {
 			t.Fatalf("object %d changed", i)
 		}
+	}
+}
+
+func TestHashInstanceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		in := sample(rng)
+		want := HashInstance(in)
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := HashInstance(back); got != want {
+			t.Fatalf("trial %d: hash changed across JSON round trip: %s vs %s", trial, got, want)
+		}
+		// Hashing must be repeatable on the same instance (no dependence on
+		// lazily built metric state).
+		in.Metric()
+		if got := HashInstance(in); got != want {
+			t.Fatalf("trial %d: hash changed after oracle construction", trial)
+		}
+	}
+}
+
+func TestHashInstanceEdgeOrderInvariant(t *testing.T) {
+	build := func(perm [][3]float64) *core.Instance {
+		g := graph.New(4)
+		for _, e := range perm {
+			g.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		storage := []float64{1, 2, 3, 4}
+		obj := core.Object{Name: "x", Reads: []int64{1, 0, 2, 0}, Writes: []int64{0, 1, 0, 0}}
+		return core.MustInstance(g, storage, []core.Object{obj})
+	}
+	a := build([][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}})
+	b := build([][3]float64{{3, 2, 3}, {2, 1, 2}, {1, 0, 1}})
+	if HashInstance(a) != HashInstance(b) {
+		t.Fatal("hash depends on edge insertion order or orientation")
+	}
+	c := build([][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 3.5}})
+	if HashInstance(a) == HashInstance(c) {
+		t.Fatal("hash ignores edge fees")
 	}
 }
 

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU map from solve-cache keys — "<instance
+// hash>|<canonical options>" strings — to finished solve results. Safe for
+// concurrent use. A non-positive capacity disables caching entirely.
+type resultCache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// cacheItem is one cached result with its key (needed again at eviction).
+type cacheItem struct {
+	key string
+	val *SolveResult
+}
+
+// newResultCache returns a cache bounded to capacity entries.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// Get returns the cached result for key and refreshes its recency.
+func (c *resultCache) Get(key string) (*SolveResult, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// Put stores a result under key, evicting the least-recently-used entry
+// beyond capacity.
+func (c *resultCache) Put(key string, val *SolveResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, val: val})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*cacheItem).key)
+		c.order.Remove(back)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

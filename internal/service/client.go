@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+)
+
+// Client is a typed HTTP client for a netplaced server. The zero value is
+// not usable; construct with NewClient. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8723"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// do sends a JSON request and decodes a JSON response into out (which may
+// be nil). Non-2xx responses surface as errors carrying the server message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e errorJSON
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Upload registers an instance under an optional name and returns its
+// registry record. Uploading the same problem twice is idempotent.
+func (c *Client) Upload(ctx context.Context, name string, in *core.Instance) (UploadResponse, error) {
+	var out UploadResponse
+	err := c.do(ctx, http.MethodPost, "/instances",
+		UploadRequest{Name: name, Instance: encode.InstanceJSONOf(in)}, &out)
+	return out, err
+}
+
+// List returns the resident instances, most recently used first.
+func (c *Client) List(ctx context.Context) ([]InstanceInfo, error) {
+	var out []InstanceInfo
+	err := c.do(ctx, http.MethodGet, "/instances", nil, &out)
+	return out, err
+}
+
+// Info returns one instance's registry record.
+func (c *Client) Info(ctx context.Context, id string) (InstanceInfo, error) {
+	var out InstanceInfo
+	err := c.do(ctx, http.MethodGet, "/instances/"+id, nil, &out)
+	return out, err
+}
+
+// Delete drops an instance from the registry.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/instances/"+id, nil, nil)
+}
+
+// Solve solves a registered instance with the given options.
+func (c *Client) Solve(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
+	var out SolveResult
+	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/solve", SolveRequest{Options: opts}, &out)
+	return out, err
+}
+
+// WhatIf solves a batch of options variants concurrently server-side.
+func (c *Client) WhatIf(ctx context.Context, id string, variants []SolveOptions) ([]WhatIfOutcome, error) {
+	var out WhatIfResponse
+	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/whatif", WhatIfRequest{Variants: variants}, &out)
+	return out.Results, err
+}
+
+// Cost evaluates a placement (typically a SolveResult.Placement, possibly
+// edited) under the restricted cost model.
+func (c *Client) Cost(ctx context.Context, id string, p encode.PlacementJSON) (BreakdownJSON, error) {
+	var out BreakdownJSON
+	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/cost", PlacementRequest{Placement: p}, &out)
+	return out, err
+}
+
+// Simulate replays the instance's workload against a placement in the
+// message-level simulator and returns the metered bill.
+func (c *Client) Simulate(ctx context.Context, id string, p encode.PlacementJSON) (SimulationResult, error) {
+	var out SimulationResult
+	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/simulate", PlacementRequest{Placement: p}, &out)
+	return out, err
+}
+
+// Stats snapshots the server's /statz counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/statz", nil, &out)
+	return out, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

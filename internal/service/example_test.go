@@ -1,0 +1,78 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+	"netplace/internal/service"
+)
+
+// Example walks the full client flow against an in-process server: upload
+// an instance once, solve it, price the returned placement, replay it in
+// the message-level simulator, and watch a repeated solve hit the cache.
+func Example() {
+	// In production the server runs as cmd/netplaced; here it is mounted on
+	// an httptest listener.
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := service.NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	// A two-site network: cheap LAN edges around nodes 0 and 3, one
+	// expensive WAN link between the sites.
+	g := graph.New(6)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(0, 2, 0.5)
+	g.AddEdge(0, 3, 8) // WAN
+	g.AddEdge(3, 4, 0.5)
+	g.AddEdge(3, 5, 0.5)
+	in, err := core.NewInstance(g, []float64{2, 2, 2, 2, 2, 2}, []core.Object{{
+		Name:   "doc",
+		Reads:  []int64{4, 6, 5, 2, 7, 6},
+		Writes: []int64{0, 1, 0, 0, 1, 0},
+	}})
+	if err != nil {
+		panic(err)
+	}
+
+	up, err := c.Upload(ctx, "two-sites", in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("uploaded:", up.Nodes, "nodes")
+
+	res, err := c.Solve(ctx, up.ID, service.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("solved: copies %v, total %.1f\n", res.Placement.Copies["doc"], res.Breakdown.Total)
+
+	cost, err := c.Cost(ctx, up.ID, res.Placement)
+	if err != nil {
+		panic(err)
+	}
+	sim, err := c.Simulate(ctx, up.ID, res.Placement)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("priced %.1f, simulated %.1f\n", cost.Total, sim.Total)
+
+	again, err := c.Solve(ctx, up.ID, service.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("repeat cached: %v (hit rate %.2f)\n", again.Cached, st.CacheHitRate)
+	// Output:
+	// uploaded: 6 nodes
+	// solved: copies [0 1 2 4 5], total 32.0
+	// priced 32.0, simulated 32.0
+	// repeat cached: true (hit rate 0.50)
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+)
+
+// pathInstance builds a small path network with one object whose hot node
+// is `hot`, so different hot values yield different content hashes.
+func pathInstance(t *testing.T, n, hot int) *core.Instance {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1, 1)
+	}
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 2
+	}
+	obj := core.Object{Name: "obj", Reads: make([]int64, n), Writes: make([]int64, n)}
+	obj.Reads[hot] = 5
+	obj.Writes[0] = 1
+	in, err := core.NewInstance(g, storage, []core.Object{obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRegistryCRUD(t *testing.T) {
+	r := NewRegistry(-1, nil)
+	in := pathInstance(t, 6, 2)
+	info, created := r.Add("demo", in)
+	if !created {
+		t.Fatal("first Add reported created=false")
+	}
+	if info.ID == "" || len(info.ID) != idLen || info.Nodes != 6 || info.Edges != 5 || info.Objects != 1 {
+		t.Fatalf("bad info: %+v", info)
+	}
+	// Idempotent re-upload: same ID, not created.
+	again, created := r.Add("", in)
+	if created || again.ID != info.ID {
+		t.Fatalf("re-upload: created=%v id=%s, want false/%s", created, again.ID, info.ID)
+	}
+	if again.Name != "demo" {
+		t.Fatalf("re-upload with empty name dropped label: %+v", again)
+	}
+	got, gotInfo, ok := r.Get(info.ID)
+	if !ok || got != in || gotInfo.ID != info.ID {
+		t.Fatal("Get did not return the registered instance")
+	}
+	other, _ := r.Add("other", pathInstance(t, 6, 3))
+	if other.ID == info.ID {
+		t.Fatal("different instances collided on ID")
+	}
+	if l := r.List(); len(l) != 2 || l[0].ID != other.ID {
+		t.Fatalf("List = %+v, want other first (most recent)", l)
+	}
+	if !r.Delete(info.ID) || r.Delete(info.ID) {
+		t.Fatal("Delete semantics broken")
+	}
+	if _, _, ok := r.Get(info.ID); ok {
+		t.Fatal("deleted instance still resident")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	var evictions atomic.Int64
+	one := estimateBytes(pathInstance(t, 8, 0))
+	// Budget for two instances, not three.
+	r := NewRegistry(2*one, &evictions)
+	a, _ := r.Add("a", pathInstance(t, 8, 0))
+	b, _ := r.Add("b", pathInstance(t, 8, 1))
+	// Touch a so b becomes the LRU victim.
+	if _, _, ok := r.Get(a.ID); !ok {
+		t.Fatal("a missing")
+	}
+	c, _ := r.Add("c", pathInstance(t, 8, 2))
+	if evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions.Load())
+	}
+	if _, _, ok := r.Get(b.ID); ok {
+		t.Fatal("LRU instance b survived over-budget Add")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, _, ok := r.Get(id); !ok {
+			t.Fatalf("instance %s evicted although recently used", id)
+		}
+	}
+	if r.UsedBytes() != 2*one {
+		t.Fatalf("UsedBytes = %d, want %d", r.UsedBytes(), 2*one)
+	}
+}
+
+func TestRegistryNeverEvictsNewestEntry(t *testing.T) {
+	// Budget below a single instance: the incoming entry must survive its
+	// own Add (evicting everything else).
+	r := NewRegistry(1, nil)
+	a, _ := r.Add("a", pathInstance(t, 8, 0))
+	b, _ := r.Add("b", pathInstance(t, 8, 1))
+	if _, _, ok := r.Get(a.ID); ok {
+		t.Fatal("a survived although budget fits nothing")
+	}
+	if _, _, ok := r.Get(b.ID); !ok {
+		t.Fatal("newest instance evicted by its own Add")
+	}
+}

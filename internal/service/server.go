@@ -1,0 +1,304 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"netplace/internal/encode"
+)
+
+// ErrNotFound reports that a requested instance id is not resident (never
+// uploaded, deleted, or evicted under the memory budget).
+var ErrNotFound = errors.New("service: instance not found")
+
+// ErrInternal marks server-side faults (a solver invariant violation or a
+// recovered panic) so the HTTP layer reports them as 5xx rather than
+// blaming the client; match with errors.Is.
+var ErrInternal = errors.New("service: internal error")
+
+// Server wires the engine to an HTTP API. Construct with New, then mount
+// Handler on an http.Server.
+//
+// The API (all bodies JSON):
+//
+//	POST   /instances                 upload {name?, instance} → instance record
+//	GET    /instances                 list resident instances
+//	GET    /instances/{id}            one instance record
+//	DELETE /instances/{id}            drop an instance
+//	POST   /instances/{id}/solve      {options?} → placement + cost
+//	POST   /instances/{id}/whatif     {variants: [options...]} → per-variant results
+//	POST   /instances/{id}/cost       {placement} → cost breakdown
+//	POST   /instances/{id}/simulate   {placement} → metered message-level bill
+//	GET    /healthz                   liveness probe
+//	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …)
+type Server struct {
+	cfg      Config
+	engine   *Engine
+	counters counters
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New assembles a server (registry, engine, routes) from a config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, start: time.Now()}
+	reg := NewRegistry(cfg.MemoryBudget, &s.counters.evictions)
+	s.engine = NewEngine(cfg, reg, &s.counters)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /instances", s.handleUpload)
+	s.mux.HandleFunc("GET /instances", s.handleList)
+	s.mux.HandleFunc("GET /instances/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /instances/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /instances/{id}/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /instances/{id}/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("POST /instances/{id}/cost", s.handleCost)
+	s.mux.HandleFunc("POST /instances/{id}/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statz", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the server's solve engine, for embedding and tests.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	hits := s.counters.hits.Load()
+	misses := s.counters.misses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Instances:      s.engine.registry.Len(),
+		InstanceBytes:  s.engine.registry.UsedBytes(),
+		MemoryBudget:   s.cfg.MemoryBudget,
+		Evictions:      s.counters.evictions.Load(),
+		CacheEntries:   s.engine.CacheLen(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheHitRate:   rate,
+		SolvesTotal:    s.counters.runs.Load(),
+		SharedSolves:   s.counters.shared.Load(),
+		InFlightSolves: s.counters.inflight.Load(),
+		SolveErrors:    s.counters.errors.Load(),
+		Simulations:    s.counters.simulations.Load(),
+	}
+}
+
+// errorJSON is the wire form of every error response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to do
+}
+
+// writeError maps an error to a status code and renders it.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrInternal):
+		code = http.StatusInternalServerError
+	case errors.Is(err, context.Canceled):
+		code = 499 // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body into v, rejecting unknown fields
+// so client typos fail loudly instead of silently solving the wrong thing.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+// UploadRequest is the body of POST /instances.
+type UploadRequest struct {
+	// Name optionally labels the instance; identity is still the content
+	// hash, so the label does not distinguish otherwise-equal uploads.
+	Name string `json:"name,omitempty"`
+	// Instance is the problem in the shared wire format.
+	Instance encode.InstanceJSON `json:"instance"`
+}
+
+// UploadResponse is the body of a successful upload.
+type UploadResponse struct {
+	InstanceInfo
+	// Created is false when an identical instance was already resident.
+	Created bool `json:"created"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	in, err := req.Instance.Instance()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, created := s.engine.registry.Add(req.Name, in)
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, UploadResponse{InstanceInfo: info, Created: created})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.registry.List())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	_, info, ok := s.engine.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.registry.Delete(r.PathValue("id")) {
+		writeError(w, ErrNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SolveRequest is the body of POST /instances/{id}/solve. An empty body is
+// also accepted and means default options.
+type SolveRequest struct {
+	Options SolveOptions `json:"options"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	res, err := s.engine.Solve(r.Context(), r.PathValue("id"), req.Options)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// WhatIfRequest is the body of POST /instances/{id}/whatif: a batch of
+// options variants solved concurrently over the worker pool.
+type WhatIfRequest struct {
+	Variants []SolveOptions `json:"variants"`
+}
+
+// WhatIfResponse carries per-variant outcomes, index-aligned with the
+// request: exactly one of Result / Error is set per slot.
+type WhatIfResponse struct {
+	Results []WhatIfOutcome `json:"results"`
+}
+
+// WhatIfOutcome is one variant's result or error.
+type WhatIfOutcome struct {
+	Result *SolveResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Variants) == 0 {
+		writeError(w, fmt.Errorf("service: whatif needs at least one variant"))
+		return
+	}
+	if len(req.Variants) > s.cfg.MaxBatchVariants {
+		writeError(w, fmt.Errorf("service: whatif batch of %d exceeds the %d-variant limit",
+			len(req.Variants), s.cfg.MaxBatchVariants))
+		return
+	}
+	results, errs := s.engine.Batch(r.Context(), r.PathValue("id"), req.Variants)
+	resp := WhatIfResponse{Results: make([]WhatIfOutcome, len(results))}
+	for i := range results {
+		if errs[i] != nil {
+			resp.Results[i].Error = errs[i].Error()
+		} else {
+			res := results[i]
+			resp.Results[i].Result = &res
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PlacementRequest is the body of cost and simulate calls: a placement in
+// the shared wire format, keyed by object name.
+type PlacementRequest struct {
+	Placement encode.PlacementJSON `json:"placement"`
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	b, err := s.engine.Cost(r.PathValue("id"), req.Placement)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.engine.Simulate(r.PathValue("id"), req.Placement)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

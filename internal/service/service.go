@@ -1,0 +1,134 @@
+// Package service turns the netplace library into a long-running concurrent
+// placement service: the engine behind the cmd/netplaced HTTP/JSON server.
+//
+// It is organised in three layers:
+//
+//   - Registry keeps uploaded instances resident, identified by their
+//     stable content hash (encode.HashInstance), with least-recently-used
+//     eviction under a configurable memory budget — an instance is parsed
+//     and validated once and then queried many times;
+//   - Engine executes solves against resident instances. Identical
+//     in-flight requests collapse to a single solver run (singleflight) and
+//     finished results are cached keyed by (instance hash, canonical solve
+//     options), so a repeated what-if query is a map lookup. Batched
+//     variant sweeps run across a bounded worker pool and all solves of one
+//     instance share its metric.Oracle;
+//   - Server exposes the engine over HTTP: instance CRUD, solve, batched
+//     what-if, cost evaluation of a client-supplied placement,
+//     message-level simulation via internal/netsim, plus /healthz and an
+//     expvar-style /statz snapshot.
+//
+// Client is a thin typed HTTP client for the same wire format; see the
+// package example for the full upload → solve → cost → simulate flow.
+package service
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value is serviceable: DefaultConfig
+// documents the defaults applied by New.
+type Config struct {
+	// MemoryBudget bounds the estimated bytes of resident instances before
+	// the registry starts evicting least-recently-used ones. 0 selects
+	// DefaultMemoryBudget; negative disables eviction.
+	MemoryBudget int64
+	// CacheEntries bounds the solve-result cache. 0 selects
+	// DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+	// Workers bounds concurrently executing solver runs (batched what-if
+	// variants queue behind it). 0 selects GOMAXPROCS.
+	Workers int
+	// SolveTimeout caps one solver run. 0 selects DefaultSolveTimeout;
+	// negative disables the cap. The cap (and a client disconnect) always
+	// cancels waiting for a worker slot; whether it can abort a running
+	// solve depends on the algorithm — algo=optimal polls the context
+	// mid-enumeration, the other solvers run to completion once started.
+	SolveTimeout time.Duration
+	// MaxUploadBytes caps the size of an uploaded instance document.
+	// 0 selects DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+	// MaxBatchVariants caps the number of options variants in one what-if
+	// request. 0 selects DefaultMaxBatchVariants.
+	MaxBatchVariants int
+}
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultMemoryBudget     = 1 << 31 // 2 GiB of estimated instance memory
+	DefaultCacheEntries     = 1024
+	DefaultSolveTimeout     = 5 * time.Minute
+	DefaultMaxUploadBytes   = 256 << 20
+	DefaultMaxBatchVariants = 64
+)
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget == 0 {
+		c.MemoryBudget = DefaultMemoryBudget
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = DefaultSolveTimeout
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if c.MaxBatchVariants <= 0 {
+		c.MaxBatchVariants = DefaultMaxBatchVariants
+	}
+	return c
+}
+
+// counters aggregates the engine's monotonic event counts and gauges; all
+// fields are atomics so hot paths never take a lock to count.
+type counters struct {
+	hits        atomic.Int64 // solves served from the result cache
+	misses      atomic.Int64 // solves not served from the result cache
+	runs        atomic.Int64 // solver executions (monotonic)
+	shared      atomic.Int64 // solves that joined an in-flight identical run
+	errors      atomic.Int64 // solver runs that returned an error
+	inflight    atomic.Int64 // currently executing solver runs
+	evictions   atomic.Int64 // instances evicted under the memory budget
+	simulations atomic.Int64 // message-level simulation runs
+}
+
+// Stats is a point-in-time snapshot of the service, rendered by /statz.
+type Stats struct {
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Instances currently resident in the registry.
+	Instances int `json:"instances"`
+	// InstanceBytes is the registry's estimated resident memory.
+	InstanceBytes int64 `json:"instance_bytes"`
+	// MemoryBudget is the configured registry budget (negative: unbounded).
+	MemoryBudget int64 `json:"memory_budget"`
+	// Evictions counts instances dropped under the memory budget.
+	Evictions int64 `json:"evictions"`
+	// CacheEntries is the number of cached solve results.
+	CacheEntries int `json:"cache_entries"`
+	// CacheHits / CacheMisses count solves served from cache vs executed.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheHitRate is hits / (hits + misses), 0 when nothing was asked.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// SolvesTotal counts solver executions; because identical in-flight
+	// requests collapse, it can be far below CacheMisses under load.
+	SolvesTotal int64 `json:"solves_total"`
+	// SharedSolves counts requests that joined an identical in-flight run
+	// instead of executing their own.
+	SharedSolves int64 `json:"shared_solves"`
+	// InFlightSolves is the number of solver runs executing right now.
+	InFlightSolves int64 `json:"in_flight_solves"`
+	// SolveErrors counts solver runs that failed (including cancellations).
+	SolveErrors int64 `json:"solve_errors"`
+	// Simulations counts message-level simulation runs.
+	Simulations int64 `json:"simulations"`
+}

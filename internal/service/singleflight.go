@@ -1,0 +1,63 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution whose result every caller shares — the classic singleflight
+// pattern, reimplemented here because the module deliberately has no
+// external dependencies.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do executes fn under key, or — if an identical call is already running —
+// waits for that call and returns its result. shared reports whether the
+// result came from (or was awaited on) another caller's execution.
+//
+// A waiter's own ctx cancels only its wait, never the leader's execution.
+// A panic inside fn is recovered into an error so the key is never wedged:
+// the call is always unregistered and its waiters always released.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("%w: solve panicked: %v", ErrInternal, r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err, false
+}

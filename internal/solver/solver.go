@@ -13,15 +13,24 @@
 //
 // These optima are the comparison points for experiments E1 (Theorem 7's
 // approximation factor) and E8 (Lemma 1's restricted-vs-unrestricted gap).
+// Because enumeration can run for minutes near the size limits, the Ctx
+// variants accept a context and abandon the scan when it is cancelled —
+// the placement service threads request contexts through them so a client
+// disconnect stops the burn.
 package solver
 
 import (
+	"context"
 	"math"
 
 	"netplace/internal/core"
 	"netplace/internal/graph"
 	"netplace/internal/metric"
 )
+
+// ctxCheckMasks is how many enumeration steps run between context checks;
+// a power of two so the check compiles to a mask test.
+const ctxCheckMasks = 1 << 12
 
 // Exact holds per-object exact solutions.
 type Exact struct {
@@ -30,8 +39,10 @@ type Exact struct {
 }
 
 // steinerTable computes dw[mask][v] = weight of a minimum Steiner tree
-// spanning {nodes in mask} ∪ {v} under the dense metric dist.
-func steinerTable(dist [][]float64) [][]float64 {
+// spanning {nodes in mask} ∪ {v} under the dense metric dist. It polls ctx
+// between masks (the table is the O(3^n · n) bulk of the unrestricted
+// solve) and returns ctx.Err() once cancelled.
+func steinerTable(ctx context.Context, dist [][]float64) ([][]float64, error) {
 	n := len(dist)
 	full := 1<<n - 1
 	dp := make([][]float64, full+1)
@@ -43,6 +54,9 @@ func steinerTable(dist [][]float64) [][]float64 {
 		}
 	}
 	for mask := 1; mask <= full; mask++ {
+		if mask%ctxCheckMasks == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if dp[mask] != nil {
 			continue
 		}
@@ -75,13 +89,25 @@ func steinerTable(dist [][]float64) [][]float64 {
 			row[v] = best
 		}
 	}
-	return dp
+	return dp, nil
 }
 
 // OptimalRestricted finds, for each object, the copy set minimising the
 // restricted-model cost (core.ObjectCost): storage + nearest-copy reads and
-// write accesses + W * MST(copies).
+// write accesses + W * MST(copies). It is OptimalRestrictedCtx without
+// cancellation.
 func OptimalRestricted(in *core.Instance) []Exact {
+	out, err := OptimalRestrictedCtx(context.Background(), in)
+	if err != nil {
+		panic("solver: " + err.Error()) // unreachable: Background never cancels
+	}
+	return out
+}
+
+// OptimalRestrictedCtx is OptimalRestricted with cooperative cancellation:
+// the subset scan polls ctx every few thousand masks and returns ctx.Err()
+// once it is cancelled, discarding partial results.
+func OptimalRestrictedCtx(ctx context.Context, in *core.Instance) ([]Exact, error) {
 	n := in.N()
 	if n > 20 {
 		panic("solver: instance too large for enumeration")
@@ -93,6 +119,9 @@ func OptimalRestricted(in *core.Instance) []Exact {
 	subset := make([]int, 0, n)
 	mstCache := make([]float64, 1<<n)
 	for mask := 1; mask < 1<<n; mask++ {
+		if mask%ctxCheckMasks == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		subset = subset[:0]
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) != 0 {
@@ -107,6 +136,9 @@ func OptimalRestricted(in *core.Instance) []Exact {
 		best := math.Inf(1)
 		bestMask := 0
 		for mask := 1; mask < 1<<n; mask++ {
+			if mask%ctxCheckMasks == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			c := 0.0
 			for v := 0; v < n; v++ {
 				if mask&(1<<v) != 0 {
@@ -139,27 +171,44 @@ func OptimalRestricted(in *core.Instance) []Exact {
 		// only the bill scales.
 		out[i] = Exact{Copies: maskToSet(bestMask, n), Cost: best * obj.Scale()}
 	}
-	return out
+	return out, nil
 }
 
 // OptimalUnrestricted finds, for each object, the copy set minimising the
 // unrestricted cost: storage + nearest-copy reads + for each write at v the
 // minimum Steiner tree spanning copies ∪ {v}. This is the strongest
 // adversary consistent with the paper's model (every write uses its own
-// optimal update set).
+// optimal update set). It is OptimalUnrestrictedCtx without cancellation.
 func OptimalUnrestricted(in *core.Instance) []Exact {
+	out, err := OptimalUnrestrictedCtx(context.Background(), in)
+	if err != nil {
+		panic("solver: " + err.Error()) // unreachable: Background never cancels
+	}
+	return out
+}
+
+// OptimalUnrestrictedCtx is OptimalUnrestricted with cooperative
+// cancellation, polling ctx between enumeration blocks like
+// OptimalRestrictedCtx.
+func OptimalUnrestrictedCtx(ctx context.Context, in *core.Instance) ([]Exact, error) {
 	n := in.N()
 	if n > 16 {
 		panic("solver: instance too large for Steiner enumeration")
 	}
 	dist := metric.Materialize(in.Metric())
-	dw := steinerTable(dist)
+	dw, err := steinerTable(ctx, dist)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Exact, len(in.Objects))
 	for i := range in.Objects {
 		obj := &in.Objects[i]
 		best := math.Inf(1)
 		bestMask := 0
 		for mask := 1; mask < 1<<n; mask++ {
+			if mask%ctxCheckMasks == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			c := 0.0
 			for v := 0; v < n; v++ {
 				if mask&(1<<v) != 0 {
@@ -188,7 +237,7 @@ func OptimalUnrestricted(in *core.Instance) []Exact {
 		}
 		out[i] = Exact{Copies: maskToSet(bestMask, n), Cost: best * obj.Scale()}
 	}
-	return out
+	return out, nil
 }
 
 func maskToSet(mask, n int) []int {

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -117,5 +118,27 @@ func TestReadOnlyModelsCoincide(t *testing.T) {
 		if math.Abs(r-u) > 1e-9 {
 			t.Fatalf("seed %d: read-only optima differ: %v vs %v", seed, r, u)
 		}
+	}
+}
+
+func TestOptimalCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := randomInstance(rng, 15, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimalRestrictedCtx(ctx, in); err != context.Canceled {
+		t.Fatalf("OptimalRestrictedCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := OptimalUnrestrictedCtx(ctx, in); err != context.Canceled {
+		t.Fatalf("OptimalUnrestrictedCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// An unconstrained context must reproduce the wrapper's result.
+	want := OptimalRestricted(in)
+	got, err := OptimalRestrictedCtx(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0].Cost != want[0].Cost {
+		t.Fatalf("ctx and wrapper variants disagree: %+v vs %+v", got, want)
 	}
 }

@@ -17,12 +17,20 @@
 //     strategies; Cost evaluates any placement; Simulate replays the
 //     request pattern message-by-message and meters the same costs.
 //
-// See the examples/ directory for end-to-end usage and EXPERIMENTS.md for
-// the evaluation reproducing the paper's guarantees.
+// Beyond the in-process API, cmd/netplaced serves the same algorithms as a
+// long-running HTTP/JSON service (instance registry, solve cache, batched
+// what-if queries); the wire types it speaks — InstanceJSON, PlacementJSON
+// and friends — are re-exported here so client code can build payloads
+// without reaching into internal packages.
+//
+// See the examples/ directory for end-to-end usage, ARCHITECTURE.md for
+// the layer map, and EXPERIMENTS.md for the evaluation reproducing the
+// paper's guarantees.
 package netplace
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -30,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"netplace/internal/core"
+	"netplace/internal/encode"
 	"netplace/internal/facility"
 	"netplace/internal/netsim"
 	"netplace/internal/online"
@@ -209,6 +218,47 @@ func FacilitySolvers() map[string]facility.Solver {
 		"mettu-plaxton": facility.MettuPlaxton,
 		"greedy":        facility.Greedy,
 	}
+}
+
+// Wire-format types (the JSON schema shared by the cmd/placer and
+// cmd/gennet files and the cmd/netplaced HTTP service): InstanceJSON is an
+// on-disk/on-wire problem, EdgeJSON and ObjectJSON its parts, and
+// PlacementJSON a copy set per object name.
+type (
+	InstanceJSON  = encode.InstanceJSON
+	EdgeJSON      = encode.EdgeJSON
+	ObjectJSON    = encode.ObjectJSON
+	PlacementJSON = encode.PlacementJSON
+)
+
+// EncodeInstance converts an instance to its wire form; the inverse is
+// InstanceJSON.Instance, which validates and assembles the model type.
+func EncodeInstance(in *Instance) InstanceJSON { return encode.InstanceJSONOf(in) }
+
+// EncodePlacement converts a validated placement to its wire form, keyed
+// by object name; the inverse is PlacementJSON.Placement.
+func EncodePlacement(in *Instance, p Placement) (PlacementJSON, error) {
+	return encode.PlacementJSONOf(in, p)
+}
+
+// HashInstance returns the stable content hash of an instance — the
+// identity under which the placement service registers and caches it.
+func HashInstance(in *Instance) string { return encode.HashInstance(in) }
+
+// WriteInstance serialises an instance as indented JSON.
+func WriteInstance(w io.Writer, in *Instance) error { return encode.WriteInstance(w, in) }
+
+// WritePlacement serialises a placement using the instance's object names.
+func WritePlacement(w io.Writer, in *Instance, p Placement) error {
+	return encode.WritePlacement(w, in, p)
+}
+
+// ReadInstance deserialises and validates an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) { return encode.ReadInstance(r) }
+
+// ReadPlacement deserialises a placement against an instance.
+func ReadPlacement(r io.Reader, in *Instance) (Placement, error) {
+	return encode.ReadPlacement(r, in)
 }
 
 // SimulationStats aggregates a message-level replay.
