@@ -6,9 +6,11 @@
 package netplace
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"netplace/internal/benchkit"
 	"netplace/internal/core"
 	"netplace/internal/exper"
 	"netplace/internal/facility"
@@ -226,6 +228,87 @@ func BenchmarkSolveInterconnect46kLazy(b *testing.B) {
 		in := core.MustInstance(g, storage, []core.Object{obj})
 		p := core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64})
 		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+// Resident-instance kernels: the steady-state hot path of the placement
+// service — repeated solves, sweeps and cost evaluations over one warm
+// instance whose lazy oracle has already been built. These are the
+// BENCH_PR3.json trajectory benchmarks; cmd/benchreport runs the same
+// kernels programmatically over the same internal/benchkit fixture.
+
+func residentInstance(objects int) *core.Instance {
+	return benchkit.ResidentInstance(objects)
+}
+
+// BenchmarkResidentSolve2500Lazy measures a full re-solve of a warm
+// resident instance: the oracle is already built, so the numbers isolate
+// the solve pipeline itself (facility location, radii, phases, scratch).
+func BenchmarkResidentSolve2500Lazy(b *testing.B) {
+	in := residentInstance(8)
+	core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64}) // warm oracle + pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64})
+		benchSink += float64(len(p.Copies[0]))
+	}
+}
+
+// BenchmarkResidentObjectCost2500Lazy measures pricing one placement on the
+// warm instance — the kernel behind cost evaluation and what-if splicing.
+func BenchmarkResidentObjectCost2500Lazy(b *testing.B) {
+	in := residentInstance(1)
+	p := core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64})
+	obj := &in.Objects[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += in.ObjectCost(obj, p.Copies[0]).Total()
+	}
+}
+
+// BenchmarkResidentNearestOf2500Lazy measures the multi-source sweep that
+// underlies cost evaluation and the phase machinery — the allocation-free
+// Into form with a reused buffer, matching cmd/benchreport's kernel of
+// the same name.
+func BenchmarkResidentNearestOf2500Lazy(b *testing.B) {
+	in := residentInstance(1)
+	p := core.Approximate(in, core.Options{Metric: core.MetricLazy, MetricRows: 64})
+	o := in.Metric()
+	copies := p.Copies[0]
+	dst := make([]float64, in.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += metric.NearestOfInto(o, copies, dst)[0]
+	}
+}
+
+// BenchmarkLazyRowHitByBudget measures a cache-hit Row fetch with the cache
+// filled to capacity at several budgets. Hit cost must be independent of
+// MetricRows: the LRU bookkeeping is an intrusive list, not a scan of the
+// eviction order.
+func BenchmarkLazyRowHitByBudget(b *testing.B) {
+	for _, rows := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			in := largeGridInstance(50) // 2500 nodes
+			in.UseMetric(core.MetricLazy, rows)
+			o := in.Metric()
+			for u := 0; u < rows; u++ { // fill the cache to capacity
+				o.Row(u)
+			}
+			const working = 32
+			for u := rows - working; u < rows; u++ { // working set resident
+				o.Row(u)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				row := o.Row(rows - working + i%working)
+				benchSink += row[0]
+			}
+		})
 	}
 }
 

@@ -1,0 +1,223 @@
+// Command benchreport runs the repository's kernel micro-benchmarks
+// programmatically (via testing.Benchmark) and emits a machine-readable
+// JSON report — the benchmark trajectory artifact (BENCH_PR3.json and
+// successors) that CI regenerates and compares against the committed
+// baseline on every push.
+//
+// Usage:
+//
+//	benchreport [-out report.json] [-baseline BENCH_PR3.json] [-max-regress 8]
+//
+// The kernels cover the steady-state hot path of the placement service on
+// a resident 2500-node lazy-oracle instance: full re-solve, cost
+// evaluation, multi-source sweep, cache-hit row fetch, and the batched
+// what-if path both incremental and with the incremental path disabled
+// (the from-scratch fallback), so the report captures exactly the ratio
+// the incremental path buys.
+//
+// With -baseline, the current numbers are compared entry by entry against
+// the committed report: a kernel slower (or allocation-heavier) than
+// max-regress times the baseline fails the run. The threshold is
+// deliberately generous — CI machines are noisy; the gate catches
+// order-of-magnitude rot (a lost pool, a reintroduced boxing heap), not
+// percentage drift.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"netplace/internal/benchkit"
+	"netplace/internal/core"
+	"netplace/internal/metric"
+	"netplace/internal/service"
+)
+
+// metricJSON is one kernel's measured costs.
+type metricJSON struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// reportJSON is the on-disk report. Pre carries the pre-optimisation
+// numbers measured when the trajectory file was first committed; the
+// comparison gate only reads Benchmarks.
+type reportJSON struct {
+	Schema     string                `json:"schema"`
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]metricJSON `json:"benchmarks"`
+	Pre        map[string]metricJSON `json:"pre,omitempty"`
+}
+
+// residentInstance is the shared 2500-node clustered-demand fixture —
+// internal/benchkit guarantees bench_test.go measures the same workload.
+func residentInstance(objects int) *core.Instance {
+	return benchkit.ResidentInstance(objects)
+}
+
+var sink float64
+
+// kernels enumerates the measured benchmarks. Each entry builds its own
+// fixture outside the timed loop.
+func kernels() map[string]func(b *testing.B) {
+	lazyOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64}
+	return map[string]func(b *testing.B){
+		"resident_solve_2500_lazy": func(b *testing.B) {
+			in := residentInstance(8)
+			core.Approximate(in, lazyOpts) // warm oracle and pools
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := core.Approximate(in, lazyOpts)
+				sink += float64(len(p.Copies[0]))
+			}
+		},
+		"resident_objectcost_2500_lazy": func(b *testing.B) {
+			in := residentInstance(1)
+			p := core.Approximate(in, lazyOpts)
+			obj := &in.Objects[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += in.ObjectCost(obj, p.Copies[0]).Total()
+			}
+		},
+		"resident_nearestof_2500_lazy": func(b *testing.B) {
+			in := residentInstance(1)
+			p := core.Approximate(in, lazyOpts)
+			o := in.Metric()
+			dst := make([]float64, in.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += metric.NearestOfInto(o, p.Copies[0], dst)[0]
+			}
+		},
+		"lazy_row_hit_1024": func(b *testing.B) {
+			in := residentInstance(1)
+			in.UseMetric(core.MetricLazy, 1024)
+			o := in.Metric()
+			for u := 0; u < 1024; u++ {
+				o.Row(u)
+			}
+			const working = 32
+			for u := 1024 - working; u < 1024; u++ {
+				o.Row(u)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += o.Row(1024 - working + i%working)[0]
+			}
+		},
+		"whatif_incremental_2500": func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2})
+		},
+		"whatif_full_2500": func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, DisableIncremental: true})
+		},
+	}
+}
+
+// benchWhatIf measures one-object-changed scenarios against a resident
+// 8-object instance: the incremental path re-solves 1 object and splices
+// 7; the full path re-solves all 8 every time.
+func benchWhatIf(b *testing.B, cfg service.Config) {
+	srv := service.New(cfg)
+	in := residentInstance(8)
+	info, _ := srv.Engine().Registry().Add("bench", in)
+	ctx := context.Background()
+	reads := make([]int64, in.N())
+	for v := range reads {
+		reads[v] = int64(v % 7)
+	}
+	sc := service.Scenario{Objects: []service.ObjectPatch{{Name: in.Objects[0].Name, Reads: reads}}}
+	opts := service.SolveOptions{Metric: "lazy", MetricRows: 64}
+	// Warm the base solve so the loop measures scenario cost, not setup.
+	if _, err := srv.Engine().Scenario(ctx, info.ID, opts, sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := srv.Engine().Scenario(ctx, info.ID, opts, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += res.Breakdown.Total
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	baseline := flag.String("baseline", "", "compare against this committed report; regressions fail the run")
+	maxRegress := flag.Float64("max-regress", 8, "fail when a kernel exceeds this multiple of the baseline")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	rep := reportJSON{Schema: "netplace-bench/v1", Note: *note, Benchmarks: map[string]metricJSON{}}
+	for name, fn := range kernels() {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks[name] = metricJSON{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-32s %14.0f ns/op %10d B/op %8d allocs/op\n",
+			name, rep.Benchmarks[name].NsPerOp, rep.Benchmarks[name].BytesPerOp, rep.Benchmarks[name].AllocsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if failures := compare(rep, *baseline, *maxRegress); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchreport: within", *maxRegress, "x of baseline", *baseline)
+	}
+}
+
+// compare checks the current report against a committed baseline. Small
+// absolute floors keep sub-millisecond kernels from tripping the gate on
+// scheduler noise.
+func compare(cur reportJSON, path string, maxRegress float64) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("cannot read baseline: %v", err)}
+	}
+	var base reportJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return []string{fmt.Sprintf("cannot parse baseline: %v", err)}
+	}
+	var failures []string
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: kernel missing from current run", name))
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*maxRegress && c.NsPerOp > 1e6 {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%.0fx)",
+				name, c.NsPerOp, b.NsPerOp, maxRegress))
+		}
+		if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*maxRegress && c.AllocsPerOp > 512 {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (>%.0fx)",
+				name, c.AllocsPerOp, b.AllocsPerOp, maxRegress))
+		}
+	}
+	return failures
+}

@@ -16,11 +16,17 @@
 //	GET    /instances/{id}            instance record
 //	DELETE /instances/{id}            drop an instance
 //	POST   /instances/{id}/solve      solve (approx, tree, optimal, baselines)
-//	POST   /instances/{id}/whatif     batched options variants
+//	POST   /instances/{id}/whatif     batched options variants or demand
+//	                                  scenarios (incremental re-solve)
 //	POST   /instances/{id}/cost       price a client-supplied placement
 //	POST   /instances/{id}/simulate   message-level replay of the workload
 //	GET    /healthz                   liveness
-//	GET    /statz                     cache/solve/eviction statistics
+//	GET    /statz                     cache/solve/eviction/incremental statistics
+//
+// With -pprof the profiling endpoints are mounted as well:
+//
+//	GET    /debug/pprof/...           net/http/pprof (profile, heap, trace, ...)
+//	GET    /debug/memz                runtime heap and GC snapshot (JSON)
 //
 // A smoke session against a running server:
 //
@@ -31,13 +37,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -46,25 +55,43 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8723", "listen address")
-		mem      = flag.Int64("mem-budget", 0, "resident-instance memory budget in estimated bytes (0: default, <0: unbounded)")
-		cache    = flag.Int("cache", 0, "solve-result cache entries (0: default, <0: disable)")
-		workers  = flag.Int("workers", 0, "max concurrently executing solver runs (0: GOMAXPROCS)")
-		timeout  = flag.Duration("solve-timeout", 0, "per-solve wall-clock cap (0: default, <0: none)")
-		maxBatch = flag.Int("max-batch", 0, "max variants per what-if request (0: default)")
+		addr      = flag.String("addr", ":8723", "listen address")
+		mem       = flag.Int64("mem-budget", 0, "resident-instance memory budget in estimated bytes (0: default, <0: unbounded)")
+		cache     = flag.Int("cache", 0, "solve-result cache entries (0: default, <0: disable)")
+		workers   = flag.Int("workers", 0, "max concurrently executing solver runs (0: GOMAXPROCS)")
+		timeout   = flag.Duration("solve-timeout", 0, "per-solve wall-clock cap (0: default, <0: none)")
+		maxBatch  = flag.Int("max-batch", 0, "max variants per what-if request (0: default)")
+		noIncr    = flag.Bool("no-incremental", false, "answer every what-if scenario with a full solve")
+		withPprof = flag.Bool("pprof", false, "expose /debug/pprof and /debug/memz profiling endpoints")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		MemoryBudget:     *mem,
-		CacheEntries:     *cache,
-		Workers:          *workers,
-		SolveTimeout:     *timeout,
-		MaxBatchVariants: *maxBatch,
+		MemoryBudget:       *mem,
+		CacheEntries:       *cache,
+		Workers:            *workers,
+		SolveTimeout:       *timeout,
+		MaxBatchVariants:   *maxBatch,
+		DisableIncremental: *noIncr,
 	})
+	handler := srv.Handler()
+	if *withPprof {
+		// Profiling endpoints are opt-in: they expose internals and cost
+		// stop-the-world pauses (heap profiles, memstats), so production
+		// deployments enable them deliberately.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /debug/memz", handleMemz)
+		handler = mux
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -90,4 +117,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// handleMemz renders a runtime heap/GC snapshot: the numbers an operator
+// correlates with /statz when deciding whether the memory budget or the
+// row-cache bound needs tuning.
+func handleMemz(w http.ResponseWriter, r *http.Request) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{ //nolint:errcheck // headers are out
+		"heap_alloc_bytes":    m.HeapAlloc,
+		"heap_sys_bytes":      m.HeapSys,
+		"heap_objects":        m.HeapObjects,
+		"total_alloc_bytes":   m.TotalAlloc,
+		"mallocs":             m.Mallocs,
+		"frees":               m.Frees,
+		"gc_cycles":           m.NumGC,
+		"gc_pause_total_ms":   float64(m.PauseTotalNs) / 1e6,
+		"gc_cpu_fraction":     m.GCCPUFraction,
+		"next_gc_bytes":       m.NextGC,
+		"goroutines":          runtime.NumGoroutine(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"stack_in_use_bytes":  m.StackInuse,
+		"last_gc_unix_millis": m.LastGC / 1e6,
+	})
 }

@@ -1,0 +1,32 @@
+// Package benchkit builds the shared fixtures of the kernel benchmarks,
+// so the in-tree benchmarks (bench_test.go) and the CI trajectory gate
+// (cmd/benchreport, BENCH_PR3.json) measure exactly the same workload —
+// a fixture tuned in one place cannot silently diverge from the other.
+package benchkit
+
+import (
+	"math/rand"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/workload"
+)
+
+// ResidentInstance is the canonical resident-solve fixture: a 2500-node
+// unit-weight grid with clustered Zipf demand and a lazy oracle bounded to
+// 64 rows — the steady-state shape of a placement-service instance. The
+// oracle is selected but not warmed; benchmarks warm it outside their
+// timed loops.
+func ResidentInstance(objects int) *core.Instance {
+	rng := rand.New(rand.NewSource(41))
+	g := gen.Grid(50, 50, gen.UnitWeights)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 2 + rng.Float64()*6
+	}
+	objs := workload.Generate(n, workload.Spec{Objects: objects, MeanRate: 3, WriteFraction: 0.25, ZipfS: 0.8}, rng)
+	in := core.MustInstance(g, storage, objs)
+	in.UseMetric(core.MetricLazy, 64)
+	return in
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"netplace/internal/gen"
+)
+
+// Allocation-regression tests for the instance-level hot kernels, mirroring
+// the ones in internal/metric: once the pools are warm, pricing a placement
+// on a resident instance must not allocate.
+
+func TestObjectCostAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	g := gen.Grid(20, 20, gen.UnitWeights)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = float64(2 + v%5)
+	}
+	obj := Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+	for v := 0; v < n; v++ {
+		obj.Reads[v] = int64(1 + v%3)
+		if v%37 == 0 {
+			obj.Writes[v] = 1
+		}
+	}
+	in := MustInstance(g, storage, []Object{obj})
+	in.UseMetric(MetricLazy, 64)
+	copies := []int{7, 133, 250, 388}
+	in.ObjectCost(&in.Objects[0], copies) // warm pools and the row cache
+	allocs := testing.AllocsPerRun(50, func() {
+		in.ObjectCost(&in.Objects[0], copies)
+	})
+	if allocs != 0 {
+		t.Errorf("ObjectCost allocates %.1f objects per call on a warm instance, want 0", allocs)
+	}
+}

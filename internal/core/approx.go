@@ -77,6 +77,50 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// solveWS is the per-worker scratch of the solve pipeline: request vector,
+// copy flags, scan order, plus the metric workspace (nearest fields, radii,
+// MST scratch) and a reusable facility-location instance. Pooled via
+// solvePool so repeated solves over a resident instance allocate only their
+// results.
+type solveWS struct {
+	mws   metric.Workspace
+	req   []int64
+	has   []bool
+	order []int
+	fl    facility.Instance
+}
+
+// buffers returns the request, copy-flag and order buffers grown to length
+// n; req and has are zeroed, order is emptied.
+func (ws *solveWS) buffers(n int) (req []int64, has []bool, order []int) {
+	if cap(ws.req) < n {
+		ws.req = make([]int64, n)
+		ws.has = make([]bool, n)
+		ws.order = make([]int, 0, n)
+	}
+	req = ws.req[:n]
+	has = ws.has[:n]
+	for i := range req {
+		req[i] = 0
+		has[i] = false
+	}
+	return req, has, ws.order[:0]
+}
+
+// solvePool recycles solve workspaces across solves and workers.
+var solvePool = sync.Pool{New: func() interface{} { return new(solveWS) }}
+
+// putSolveWS returns a workspace to the pool, dropping its references to
+// the solved instance (storage, demand view, oracle) first — a pooled
+// workspace must not pin an evicted instance's memory, only its own
+// scratch buffers.
+func putSolveWS(ws *solveWS) {
+	ws.fl.Open = nil
+	ws.fl.Demand = nil
+	ws.fl.Metric = nil
+	solvePool.Put(ws)
+}
+
 // Approximate runs the paper's three-phase constant-factor approximation
 // algorithm (Section 2.2) independently for every object:
 //
@@ -89,46 +133,143 @@ func (o Options) workers() int {
 // The result is a proper placement with k1 = 29, k2 = 2 (Lemma 8) whose
 // storage cost is near-optimal (Lemma 9), hence a constant-factor
 // approximation of the total cost (Theorem 7).
+//
+// Objects whose request multiset and total write count coincide place
+// identically (the three phases read nothing else about an object), so
+// Approximate solves one representative per such group and copies the
+// result to the rest — one multi-source pipeline serving many objects.
 func Approximate(in *Instance, opt Options) Placement {
 	if opt.Metric != MetricAuto {
 		in.UseMetric(opt.Metric, opt.MetricRows)
 	}
 	p := Placement{Copies: make([][]int, len(in.Objects))}
+	rep := demandGroups(in)
+	reps := make([]int, 0, len(in.Objects))
+	for i, r := range rep {
+		if r == i {
+			reps = append(reps, i)
+		}
+	}
 	workers := opt.workers()
-	if workers > len(in.Objects) {
-		workers = len(in.Objects)
+	if workers > len(reps) {
+		workers = len(reps)
 	}
 	if workers <= 1 {
-		for i := range in.Objects {
-			p.Copies[i] = approximateObject(in, &in.Objects[i], opt)
+		ws := solvePool.Get().(*solveWS)
+		for _, i := range reps {
+			p.Copies[i] = approximateObject(in, &in.Objects[i], opt, ws)
 		}
-		return p
-	}
-	in.Metric() // resolve the shared oracle before fanning out
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(in.Objects) {
-					return
+		putSolveWS(ws)
+	} else {
+		in.Metric() // resolve the shared oracle before fanning out
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				ws := solvePool.Get().(*solveWS)
+				defer putSolveWS(ws)
+				for {
+					k := int(atomic.AddInt64(&next, 1))
+					if k >= len(reps) {
+						return
+					}
+					i := reps[k]
+					p.Copies[i] = approximateObject(in, &in.Objects[i], opt, ws)
 				}
-				p.Copies[i] = approximateObject(in, &in.Objects[i], opt)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	for i, r := range rep {
+		if r != i {
+			p.Copies[i] = append([]int(nil), p.Copies[r]...)
+		}
+	}
 	return p
 }
 
-// approximateObject places a single object.
-func approximateObject(in *Instance, obj *Object, opt Options) []int {
+// demandGroups assigns every object the index of its representative: the
+// first object with an elementwise-identical fr+fw request vector and the
+// same total write count. rep[i] == i marks a representative.
+func demandGroups(in *Instance) []int {
+	rep := make([]int, len(in.Objects))
+	for i := range rep {
+		rep[i] = i
+	}
+	if len(in.Objects) < 2 {
+		return rep
+	}
+	byHash := make(map[uint64][]int, len(in.Objects))
+	for i := range in.Objects {
+		o := &in.Objects[i]
+		h := demandHash(o)
+		for _, j := range byHash[h] {
+			if sameDemand(o, &in.Objects[j]) {
+				rep[i] = j
+				break
+			}
+		}
+		if rep[i] == i {
+			byHash[h] = append(byHash[h], i)
+		}
+	}
+	return rep
+}
+
+// demandHash is an FNV-1a hash of an object's request vector and total
+// write count — the exact inputs the solve pipeline reads.
+func demandHash(o *Object) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	for v := range o.Reads {
+		mix(uint64(o.Reads[v] + o.Writes[v]))
+	}
+	mix(uint64(o.TotalWrites()))
+	return h
+}
+
+// sameDemand reports whether two objects present identical inputs to the
+// solve pipeline: same fr+fw vector and same total write count.
+func sameDemand(a, b *Object) bool {
+	if a.TotalWrites() != b.TotalWrites() {
+		return false
+	}
+	for v := range a.Reads {
+		if a.Reads[v]+a.Writes[v] != b.Reads[v]+b.Writes[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproximateObject places a single object with the paper's three-phase
+// algorithm, borrowing pooled scratch. It is the kernel behind Approximate
+// and the placement service's incremental what-if path, which re-solves
+// only the objects a scenario actually changed.
+func ApproximateObject(in *Instance, obj *Object, opt Options) []int {
+	ws := solvePool.Get().(*solveWS)
+	out := approximateObject(in, obj, opt, ws)
+	putSolveWS(ws)
+	return out
+}
+
+// approximateObject places a single object using the given workspace.
+func approximateObject(in *Instance, obj *Object, opt Options, ws *solveWS) []int {
 	n := in.N()
 	o := in.Metric()
-	req := obj.Requests()
+	reqBuf, has, order := ws.buffers(n)
+	req := obj.RequestsInto(reqBuf)
 	total := req.Total()
 	if total == 0 {
 		// Degenerate object nobody accesses: cheapest single copy.
@@ -142,14 +283,20 @@ func approximateObject(in *Instance, obj *Object, opt Options) []int {
 	}
 
 	// Phase 1: related facility location problem. Writes count as reads;
-	// update costs are ignored.
-	fl := &facility.Instance{Open: in.Storage, Demand: req.Count, Metric: o}
-	copies := opt.fl(n)(fl)
+	// update costs are ignored. The facility instance is reused across
+	// objects so its internal scratch persists.
+	ws.fl.Open = in.Storage
+	ws.fl.Demand = req.Count
+	ws.fl.Metric = o
+	copies := opt.fl(n)(&ws.fl)
 
-	radii := metric.ComputeRadii(o, req, obj.TotalWrites(), in.Storage)
+	// Storage radii for every node (cheap payment-ball scans); write radii
+	// are computed later, only for the copy candidates phase 3 actually
+	// compares — resolving rw(v) means walking the W closest requests,
+	// which is a near-complete sweep per node when writes are plentiful.
+	radii := ws.mws.ComputeStorageRadii(o, req, in.Storage)
 
-	has := make([]bool, n)
-	near := make([]float64, n) // distance to nearest copy
+	near := ws.mws.Near(n) // distance to nearest copy
 	for v := range near {
 		near[v] = graphInf
 	}
@@ -181,10 +328,11 @@ func approximateObject(in *Instance, obj *Object, opt Options) []int {
 	// Phase 3: delete clustered copies, scanning in ascending write radius.
 	if !opt.SkipPhase3 {
 		k := opt.p3()
-		order := make([]int, 0, n)
+		w := obj.TotalWrites()
 		for v := 0; v < n; v++ {
 			if has[v] {
 				order = append(order, v)
+				radii[v].RW = ws.mws.WriteRadius(o, req, w, v)
 			}
 		}
 		sort.SliceStable(order, func(a, b int) bool {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDemandGroupBatching pins the batched solve's contract: objects with
+// identical request multisets and write totals share one representative
+// solve, and the result — sequential, parallel, or via the single-object
+// kernel — is identical to solving every object from scratch.
+func TestDemandGroupBatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := intWeightInstance(rng, 20, 3, false)
+	// Duplicate object 0's workload into two clones: same reads+writes
+	// elementwise (identical placement inputs), different names and sizes
+	// (which must not affect the copy set).
+	clone := func(name string, size float64) Object {
+		o := Object{Name: name, Size: size,
+			Reads:  append([]int64(nil), in.Objects[0].Reads...),
+			Writes: append([]int64(nil), in.Objects[0].Writes...)}
+		return o
+	}
+	objs := append(append([]Object(nil), in.Objects...), clone("dup-a", 2), clone("dup-b", 7))
+	// A demand-equivalent pair with a different read/write split but the
+	// same fr+fw vector and the same total writes must also share a group.
+	swapped := clone("dup-swapped", 1)
+	for v := range swapped.Reads {
+		if swapped.Writes[v] > 0 && swapped.Reads[v] > 0 {
+			swapped.Reads[v]++
+			swapped.Writes[v]--
+		}
+	}
+	if swapped.TotalWrites() == in.Objects[0].TotalWrites() {
+		objs = append(objs, swapped)
+	}
+	batched := MustInstance(in.G, in.Storage, objs)
+
+	rep := demandGroups(batched)
+	if rep[len(in.Objects)] != 0 || rep[len(in.Objects)+1] != 0 {
+		t.Fatalf("duplicated objects not grouped under object 0: rep=%v", rep)
+	}
+
+	got := Approximate(batched, Options{Workers: 1})
+	par := Approximate(batched, Options{Workers: 4})
+	if !reflect.DeepEqual(got.Copies, par.Copies) {
+		t.Fatalf("parallel batched solve diverged from sequential:\n%v\n%v", par.Copies, got.Copies)
+	}
+	for i := range batched.Objects {
+		want := ApproximateObject(batched, &batched.Objects[i], Options{Workers: 1})
+		if !reflect.DeepEqual(got.Copies[i], want) {
+			t.Fatalf("object %d: batched copies %v, from-scratch %v", i, got.Copies[i], want)
+		}
+	}
+	// Shared copy sets must not alias: mutating one object's result cannot
+	// corrupt its group siblings.
+	got.Copies[len(in.Objects)][0] = -1
+	if got.Copies[0][0] == -1 {
+		t.Fatal("grouped objects share a copy-set backing array")
+	}
+}

@@ -59,11 +59,16 @@ func (o *Object) TotalWrites() int64 {
 // Requests returns the request multiset fr + fw used by the radius
 // definitions and by the related facility location problem.
 func (o *Object) Requests() metric.Requests {
-	c := make([]int64, len(o.Reads))
-	for v := range c {
-		c[v] = o.Reads[v] + o.Writes[v]
+	return o.RequestsInto(make([]int64, len(o.Reads)))
+}
+
+// RequestsInto is Requests writing into buf, a caller-owned buffer of
+// length len(Reads): the allocation-free form for pooled solve workspaces.
+func (o *Object) RequestsInto(buf []int64) metric.Requests {
+	for v := range buf {
+		buf[v] = o.Reads[v] + o.Writes[v]
 	}
-	return metric.Requests{Count: c}
+	return metric.Requests{Count: buf}
 }
 
 // MetricBackend selects a distance-oracle backend for an instance.
@@ -135,6 +140,35 @@ func NewInstance(g *graph.Graph, storage []float64, objects []Object) (*Instance
 		return nil, fmt.Errorf("core: network must be connected")
 	}
 	return &Instance{G: g, Storage: storage, Objects: objects}, nil
+}
+
+// WithObjects returns a variant of the instance carrying the given objects
+// while sharing the network, storage fees, and — crucially — the
+// already-built metric oracle, whose warmed caches make re-solving a
+// changed object nearly free. Objects are validated like NewInstance's
+// (the shared network needs no re-validation). It is the substrate of the
+// service's incremental what-if path.
+func (in *Instance) WithObjects(objects []Object) (*Instance, error) {
+	for i := range objects {
+		o := &objects[i]
+		if len(o.Reads) != in.G.N() || len(o.Writes) != in.G.N() {
+			return nil, fmt.Errorf("core: object %d frequency vectors must have length %d", i, in.G.N())
+		}
+		if math.IsNaN(o.Size) || math.IsInf(o.Size, 0) {
+			return nil, fmt.Errorf("core: object %d has invalid size %v", i, o.Size)
+		}
+		if o.Size <= 0 {
+			o.Size = 1
+		}
+		for v := 0; v < in.G.N(); v++ {
+			if o.Reads[v] < 0 || o.Writes[v] < 0 {
+				return nil, fmt.Errorf("core: object %d has negative frequency at node %d", i, v)
+			}
+		}
+	}
+	out := &Instance{G: in.G, Storage: in.Storage, Objects: objects}
+	out.SetMetric(in.Metric())
+	return out, nil
 }
 
 // MustInstance is NewInstance that panics on error; for tests and examples.

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active; allocation
+// accounting tests skip themselves then, because -race makes sync.Pool
+// deliberately drop items to expose misuse.
+const raceEnabled = true

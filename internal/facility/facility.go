@@ -35,7 +35,71 @@ type Instance struct {
 	Demand []int64
 	Metric metric.Oracle
 
-	scratch []float64 // reusable nearest-facility buffer for Cost
+	// Reusable scratch, grown on demand and kept across calls so a solver
+	// instance threaded through repeated solves (the core workspace reuses
+	// one per worker) does not allocate per object. Instances are therefore
+	// not safe for concurrent use.
+	scratch []float64 // nearest-facility buffer for Cost
+	mpR     []float64 // Mettu–Plaxton radii
+	mpOrder []int     // Mettu–Plaxton scan order
+	mpOpen  []bool    // Mettu–Plaxton open-facility flags
+
+	// Pre-bound scan callbacks with their state structs: a closure passed
+	// through the metric.Oracle interface escapes, so building one per
+	// node used to allocate the closure and every captured accumulator on
+	// each of Mettu–Plaxton's 2n ball scans.
+	mpRadSt  mpRadiusState
+	mpRadFn  func(u int, d float64) bool
+	mpOpenSt mpOpenState
+	mpOpenFn func(u int, d float64) bool
+}
+
+// mpRadiusState accumulates one mpRadius ball walk: slope is the demand
+// inside the current ball, value the left-hand side of the payment
+// equation at the current radius.
+type mpRadiusState struct {
+	demand []int64
+	target float64
+	slope  int64
+	value  float64
+	radius float64
+	solved float64
+}
+
+// step consumes one scanned node of the payment-ball walk.
+func (st *mpRadiusState) step(u int, d float64) bool {
+	if st.slope > 0 {
+		// advance radius to d
+		need := (st.target - st.value) / float64(st.slope)
+		if st.radius+need <= d {
+			st.solved = st.radius + need
+			return false
+		}
+		st.value += float64(st.slope) * (d - st.radius)
+	}
+	st.radius = d
+	st.slope += st.demand[u]
+	return true
+}
+
+// mpOpenState tracks the open-facility ball check: ok turns false when an
+// already-open facility appears within the limit radius.
+type mpOpenState struct {
+	isOpen []bool
+	limit  float64
+	ok     bool
+}
+
+// step consumes one scanned node of the open-facility check.
+func (st *mpOpenState) step(u int, d float64) bool {
+	if d > st.limit {
+		return false
+	}
+	if st.isOpen[u] {
+		st.ok = false
+		return false
+	}
+	return true
 }
 
 // N returns the number of nodes.
@@ -235,17 +299,25 @@ func without(s []int, v int) []int {
 // sparse networks.
 func MettuPlaxton(in *Instance) []int {
 	n := in.N()
-	r := make([]float64, n)
+	if cap(in.mpR) < n {
+		in.mpR = make([]float64, n)
+		in.mpOrder = make([]int, n)
+		in.mpOpen = make([]bool, n)
+	}
+	r := in.mpR[:n]
 	for v := 0; v < n; v++ {
 		r[v] = mpRadius(in, v)
 	}
-	order := make([]int, n)
+	order := in.mpOrder[:n]
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return r[order[a]] < r[order[b]] })
 	var open []int
-	isOpen := make([]bool, n)
+	isOpen := in.mpOpen[:n]
+	for i := range isOpen {
+		isOpen[i] = false
+	}
 	pointCheap := in.Metric.Kind() != metric.KindLazy
 	for _, v := range order {
 		ok := true
@@ -259,17 +331,12 @@ func MettuPlaxton(in *Instance) []int {
 		} else {
 			// Ball scan: an open facility within 2 r(v) is found before the
 			// scan passes that radius; the scan never leaves the ball.
-			limit := 2 * r[v]
-			metric.ScanNear(in.Metric, v, func(u int, d float64) bool {
-				if d > limit {
-					return false
-				}
-				if isOpen[u] {
-					ok = false
-					return false
-				}
-				return true
-			})
+			if in.mpOpenFn == nil {
+				in.mpOpenFn = func(u int, d float64) bool { return in.mpOpenSt.step(u, d) }
+			}
+			in.mpOpenSt = mpOpenState{isOpen: isOpen, limit: 2 * r[v], ok: true}
+			metric.ScanNear(in.Metric, v, in.mpOpenFn)
+			ok = in.mpOpenSt.ok
 		}
 		if ok {
 			open = append(open, v)
@@ -286,32 +353,20 @@ func MettuPlaxton(in *Instance) []int {
 // mpRadius solves sum_{u: d(u,v) <= r} demand(u) * (r - d(u,v)) = open(v)
 // for r. The left side is piecewise linear and increasing in r, so walk the
 // request ball outward accumulating slope and stop at the paying radius —
-// nodes beyond it are never visited.
+// nodes beyond it are never visited. State and callback live on the
+// Instance so the per-node walk allocates nothing.
 func mpRadius(in *Instance, v int) float64 {
-	target := in.Open[v]
-	var slope int64 // total demand inside the current ball
-	value := 0.0    // left side at the current radius
-	radius := 0.0
-	solved := math.Inf(1)
-	metric.ScanNear(in.Metric, v, func(u int, d float64) bool {
-		if slope > 0 {
-			// advance radius to d
-			need := (target - value) / float64(slope)
-			if radius+need <= d {
-				solved = radius + need
-				return false
-			}
-			value += float64(slope) * (d - radius)
-		}
-		radius = d
-		slope += in.Demand[u]
-		return true
-	})
-	if !math.IsInf(solved, 1) {
-		return solved
+	if in.mpRadFn == nil {
+		in.mpRadFn = func(u int, d float64) bool { return in.mpRadSt.step(u, d) }
 	}
-	if slope == 0 {
+	in.mpRadSt = mpRadiusState{demand: in.Demand, target: in.Open[v], solved: math.Inf(1)}
+	metric.ScanNear(in.Metric, v, in.mpRadFn)
+	st := &in.mpRadSt
+	if !math.IsInf(st.solved, 1) {
+		return st.solved
+	}
+	if st.slope == 0 {
 		return math.Inf(1) // no demand anywhere: never pays off
 	}
-	return radius + (target-value)/float64(slope)
+	return st.radius + (st.target-st.value)/float64(st.slope)
 }

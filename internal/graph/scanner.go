@@ -1,7 +1,5 @@
 package graph
 
-import "container/heap"
-
 // Scanner runs truncated Dijkstra sweeps from varying sources, reusing its
 // internal arrays across calls so that a sweep over a small ball costs only
 // the ball, not O(n) re-initialisation. It is the engine behind the lazy
@@ -9,6 +7,13 @@ import "container/heap"
 // facility-location ball scans stop after a handful of nodes, so a full
 // per-source shortest-path run (let alone an all-pairs matrix) is wasted
 // work on large networks.
+//
+// Beyond truncated scans it also provides the allocation-free forms of the
+// other sweep kernels — full rows (RowInto), multi-source nearest fields
+// (ScanFrom, NearestInto), pruned nearest-field improvement
+// (ImproveNearest) and potential-seeded relaxation (Relax) — so a pooled
+// Scanner is the one reusable workspace behind every Dijkstra-shaped
+// operation in the repository.
 //
 // A Scanner is not safe for concurrent use; pool Scanners per goroutine.
 type Scanner struct {
@@ -40,8 +45,31 @@ func (s *Scanner) Scan(src int, fn func(v int, d float64) bool) {
 	s.dist[src] = 0
 	s.stamp[src] = e
 	s.q = append(s.q[:0], pqItem{node: src, dist: 0})
+	s.run(e, fn)
+}
+
+// ScanFrom visits nodes in nondecreasing distance from the nearest member
+// of sources, calling fn(v, d) for each settled node. Duplicate sources are
+// harmless. An empty source set visits nothing.
+func (s *Scanner) ScanFrom(sources []int, fn func(v int, d float64) bool) {
+	s.epoch++
+	e := s.epoch
+	s.q = s.q[:0]
+	for _, src := range sources {
+		if s.stamp[src] == e {
+			continue
+		}
+		s.dist[src] = 0
+		s.stamp[src] = e
+		s.q.push(pqItem{node: src, dist: 0})
+	}
+	s.run(e, fn)
+}
+
+// run drains the queue seeded by Scan or ScanFrom for epoch e.
+func (s *Scanner) run(e int, fn func(v int, d float64) bool) {
 	for len(s.q) > 0 {
-		it := heap.Pop(&s.q).(pqItem)
+		it := s.q.pop()
 		v := it.node
 		if s.done[v] == e {
 			continue
@@ -55,10 +83,45 @@ func (s *Scanner) Scan(src int, fn func(v int, d float64) bool) {
 			if s.stamp[h.to] != e || nd < s.dist[h.to] {
 				s.dist[h.to] = nd
 				s.stamp[h.to] = e
-				heap.Push(&s.q, pqItem{node: h.to, dist: nd})
+				s.q.push(pqItem{node: h.to, dist: nd})
 			}
 		}
 	}
+}
+
+// RowInto fills row (length n) with single-source shortest-path distances
+// from src — Inf for unreachable nodes — and returns it. Unlike
+// Graph.Dijkstra it allocates nothing: heap and bookkeeping live in the
+// Scanner, and the caller owns the row.
+func (s *Scanner) RowInto(src int, row []float64) []float64 {
+	if len(row) != s.g.n {
+		panic("graph: RowInto length mismatch")
+	}
+	for i := range row {
+		row[i] = Inf
+	}
+	s.Scan(src, func(v int, d float64) bool {
+		row[v] = d
+		return true
+	})
+	return row
+}
+
+// NearestInto fills near (length n) with each node's distance to the
+// nearest member of sources — Inf where no source is reachable — and
+// returns it. One multi-source sweep, no allocation.
+func (s *Scanner) NearestInto(sources []int, near []float64) []float64 {
+	if len(near) != s.g.n {
+		panic("graph: NearestInto length mismatch")
+	}
+	for i := range near {
+		near[i] = Inf
+	}
+	s.ScanFrom(sources, func(v int, d float64) bool {
+		near[v] = d
+		return true
+	})
+	return near
 }
 
 // ImproveNearest merges the distances from src into near: afterwards
@@ -68,6 +131,78 @@ func (s *Scanner) Scan(src int, fn func(v int, d float64) bool) {
 // nearest-source field far cheaper than a fresh multi-source run. Pruning
 // is exact: a path through a node it did not improve cannot improve any
 // node beyond it, by the triangle inequality.
+func (s *Scanner) ImproveNearest(src int, near []float64) {
+	if len(near) != s.g.n {
+		panic("graph: ImproveNearest length mismatch")
+	}
+	if near[src] <= 0 {
+		return
+	}
+	s.epoch++
+	e := s.epoch
+	s.dist[src] = 0
+	s.stamp[src] = e
+	s.q = append(s.q[:0], pqItem{node: src, dist: 0})
+	for len(s.q) > 0 {
+		it := s.q.pop()
+		v := it.node
+		if s.stamp[v] != e || it.dist > s.dist[v] {
+			continue
+		}
+		if it.dist < near[v] {
+			near[v] = it.dist
+		}
+		for _, h := range s.g.adj[v] {
+			nd := it.dist + h.w
+			if nd >= near[h.to] {
+				continue
+			}
+			if s.stamp[h.to] == e && nd >= s.dist[h.to] {
+				continue
+			}
+			s.dist[h.to] = nd
+			s.stamp[h.to] = e
+			s.q.push(pqItem{node: h.to, dist: nd})
+		}
+	}
+}
+
+// Relax replaces vals in place with, for every node v,
+// min_u (vals[u] + d(u, v)) — a multi-source Dijkstra whose sources carry
+// initial potentials; entries of +Inf are non-sources. This is the
+// allocation-free form of Graph.Relax for callers that can reuse a Scanner
+// (the Steiner dynamic program calls it once per terminal subset).
+func (s *Scanner) Relax(vals []float64) {
+	if len(vals) != s.g.n {
+		panic("graph: Relax length mismatch")
+	}
+	s.q = s.q[:0]
+	for v, d := range vals {
+		if d < Inf {
+			s.q.push(pqItem{node: v, dist: d})
+		}
+	}
+	for len(s.q) > 0 {
+		it := s.q.pop()
+		v := it.node
+		if it.dist > vals[v] {
+			continue
+		}
+		for _, h := range s.g.adj[v] {
+			if nd := it.dist + h.w; nd < vals[h.to] {
+				vals[h.to] = nd
+				s.q.push(pqItem{node: h.to, dist: nd})
+			}
+		}
+	}
+}
+
+// ImproveNearest merges the distances from src into near, exploring only
+// the improved region. Allocation-conscious repeated callers should hold
+// a Scanner and use its method of the same name; this one-shot form keeps
+// its scratch in a map sized to the improved region, so a call that
+// improves a 10-node pocket of a 50k-node graph does not allocate O(n)
+// scanner arrays.
 func (g *Graph) ImproveNearest(src int, near []float64) {
 	if len(near) != g.n {
 		panic("graph: ImproveNearest length mismatch")
@@ -79,7 +214,7 @@ func (g *Graph) ImproveNearest(src int, near []float64) {
 	q := pq{{node: src, dist: 0}}
 	dist[src] = 0
 	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := q.pop()
 		v := it.node
 		if d, ok := dist[v]; !ok || it.dist > d {
 			continue
@@ -96,7 +231,7 @@ func (g *Graph) ImproveNearest(src int, near []float64) {
 				continue
 			}
 			dist[h.to] = nd
-			heap.Push(&q, pqItem{node: h.to, dist: nd})
+			q.push(pqItem{node: h.to, dist: nd})
 		}
 	}
 }
@@ -113,24 +248,6 @@ func (g *Graph) Relax(init []float64) []float64 {
 	}
 	out := make([]float64, g.n)
 	copy(out, init)
-	q := pq{}
-	for v, d := range out {
-		if d < Inf {
-			heap.Push(&q, pqItem{node: v, dist: d})
-		}
-	}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := it.node
-		if it.dist > out[v] {
-			continue
-		}
-		for _, h := range g.adj[v] {
-			if nd := it.dist + h.w; nd < out[h.to] {
-				out[h.to] = nd
-				heap.Push(&q, pqItem{node: h.to, dist: nd})
-			}
-		}
-	}
+	NewScanner(g).Relax(out)
 	return out
 }

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 	"runtime"
 	"sync"
@@ -17,21 +16,55 @@ type pqItem struct {
 	dist float64
 }
 
-// pq is a binary min-heap over tentative distances. Stale entries are allowed
-// and skipped on pop (lazy deletion), which is simpler and in practice as
-// fast as decrease-key for the sparse graphs used here.
+// pq is a binary min-heap over tentative distances, driven through the
+// concrete push/pop methods below instead of container/heap: the interface
+// API boxes every pqItem into its own heap allocation, which used to
+// dominate the allocation profile of large sweeps (one 16-byte allocation
+// per edge relaxation). Stale entries are allowed and skipped on pop (lazy
+// deletion), which is simpler and in practice as fast as decrease-key for
+// the sparse graphs used here.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// push inserts an item, sifting it up to its heap position.
+func (q *pq) push(it pqItem) {
+	s := append(*q, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist <= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*q = s
+}
+
+// pop removes and returns the minimum item. The queue must be non-empty.
+func (q *pq) pop() pqItem {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].dist < s[l].dist {
+			m = r
+		}
+		if s[i].dist <= s[m].dist {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*q = s
+	return top
 }
 
 // Dijkstra computes single-source shortest path distances from src and the
@@ -45,10 +78,10 @@ func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
 		parent[i] = -1
 	}
 	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
+	q := pq{{node: src, dist: 0}}
 	done := make([]bool, g.n)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	for len(q) > 0 {
+		it := q.pop()
 		v := it.node
 		if done[v] {
 			continue
@@ -58,7 +91,7 @@ func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
 			if nd := dist[v] + h.w; nd < dist[h.to] {
 				dist[h.to] = nd
 				parent[h.to] = v
-				heap.Push(q, pqItem{node: h.to, dist: nd})
+				q.push(pqItem{node: h.to, dist: nd})
 			}
 		}
 	}
@@ -76,17 +109,17 @@ func (g *Graph) DijkstraFrom(sources []int) (dist []float64, src []int) {
 		dist[i] = Inf
 		src[i] = -1
 	}
-	q := &pq{}
+	q := pq{}
 	for _, s := range sources {
 		if dist[s] > 0 {
 			dist[s] = 0
 			src[s] = s
-			heap.Push(q, pqItem{node: s, dist: 0})
+			q.push(pqItem{node: s, dist: 0})
 		}
 	}
 	done := make([]bool, g.n)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	for len(q) > 0 {
+		it := q.pop()
 		v := it.node
 		if done[v] {
 			continue
@@ -96,7 +129,7 @@ func (g *Graph) DijkstraFrom(sources []int) (dist []float64, src []int) {
 			if nd := dist[v] + h.w; nd < dist[h.to] {
 				dist[h.to] = nd
 				src[h.to] = src[v]
-				heap.Push(q, pqItem{node: h.to, dist: nd})
+				q.push(pqItem{node: h.to, dist: nd})
 			}
 		}
 	}

@@ -22,7 +22,8 @@ const DefaultLazyRows = 256
 // symmetric), so access patterns that keep one side in a small working set
 // — distances to the current copy set, for example — never recompute.
 // Nearest-first scans and multi-source sweeps bypass rows entirely and run
-// truncated or multi-source Dijkstra on the graph.
+// truncated or multi-source Dijkstra on the graph through pooled Scanners,
+// so steady-state sweeps allocate nothing.
 type Lazy struct {
 	g      *graph.Graph
 	cache  []lazyShard
@@ -32,16 +33,25 @@ type Lazy struct {
 
 const lazyShards = 16
 
+// lazyShard is one LRU shard: a map from node id to entry plus an intrusive
+// doubly-linked recency list (head = most recent). The list makes every
+// touch O(1); with the historical order-slice scan a cache-hit Row cost
+// grew linearly with the shard's share of MetricRows.
 type lazyShard struct {
-	mu    sync.Mutex
-	rows  map[int]*lazyRow
-	order []int // LRU order, least recent first; len <= cap
-	cap   int
+	mu   sync.Mutex
+	rows map[int]*lazyEntry
+	head *lazyEntry
+	tail *lazyEntry
+	cap  int
 }
 
-type lazyRow struct {
-	once sync.Once
-	row  atomic.Pointer[[]float64]
+// lazyEntry is one cached row with its intrusive LRU links. The row pointer
+// is written once (guarded by once) and read without the shard lock.
+type lazyEntry struct {
+	key        int
+	prev, next *lazyEntry
+	once       sync.Once
+	row        atomic.Pointer[[]float64]
 }
 
 // NewLazy returns a lazy oracle over g with a row cache bounded to
@@ -58,7 +68,7 @@ func NewLazy(g *graph.Graph, maxRows int) *Lazy {
 		if i < maxRows%lazyShards {
 			perShard++
 		}
-		l.cache[i] = lazyShard{rows: make(map[int]*lazyRow), cap: perShard}
+		l.cache[i] = lazyShard{rows: make(map[int]*lazyEntry), cap: perShard}
 	}
 	l.pool.New = func() interface{} { return graph.NewScanner(g) }
 	return l
@@ -82,6 +92,12 @@ func (l *Lazy) shardOf(u int) *lazyShard {
 	return sh
 }
 
+// scanner borrows a pooled Scanner; release it with putScanner.
+func (l *Lazy) scanner() *graph.Scanner { return l.pool.Get().(*graph.Scanner) }
+
+// putScanner returns a borrowed Scanner to the pool.
+func (l *Lazy) putScanner(sc *graph.Scanner) { l.pool.Put(sc) }
+
 // N returns the number of nodes.
 func (l *Lazy) N() int { return l.g.N() }
 
@@ -90,6 +106,44 @@ func (l *Lazy) Kind() Kind { return KindLazy }
 
 // Budget returns the row-cache budget in rows.
 func (l *Lazy) Budget() int { return l.budget }
+
+// pushFront links e at the recency head. Called with the shard lock held.
+func (sh *lazyShard) pushFront(e *lazyEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Called with the shard lock held.
+func (sh *lazyShard) unlink(e *lazyEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch moves e to the recency head in O(1). Called with the shard lock
+// held.
+func (sh *lazyShard) touch(e *lazyEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
 
 // Row returns the distance row of u, computing it with a single-source
 // Dijkstra on a cache miss. The returned slice is shared with the cache;
@@ -100,36 +154,25 @@ func (l *Lazy) Row(u int) []float64 {
 	sh.mu.Lock()
 	e, ok := sh.rows[u]
 	if !ok {
-		e = &lazyRow{}
+		e = &lazyEntry{key: u}
 		sh.rows[u] = e
-		sh.order = append(sh.order, u)
-		if len(sh.order) > sh.cap {
-			evict := sh.order[0]
-			sh.order = sh.order[1:]
-			delete(sh.rows, evict)
+		sh.pushFront(e)
+		if len(sh.rows) > sh.cap {
+			evict := sh.tail
+			sh.unlink(evict)
+			delete(sh.rows, evict.key)
 		}
 	} else {
-		sh.touch(u)
+		sh.touch(e)
 	}
 	sh.mu.Unlock()
 	e.once.Do(func() {
-		row, _ := l.g.Dijkstra(u)
+		sc := l.scanner()
+		row := sc.RowInto(u, make([]float64, l.g.N()))
+		l.putScanner(sc)
 		e.row.Store(&row)
 	})
 	return *e.row.Load()
-}
-
-// touch moves u to the most-recent end of the shard's LRU order. Called
-// with the shard lock held; the order slice is at most cap entries, so the
-// linear move is cheap.
-func (sh *lazyShard) touch(u int) {
-	for i, v := range sh.order {
-		if v == u {
-			copy(sh.order[i:], sh.order[i+1:])
-			sh.order[len(sh.order)-1] = u
-			return
-		}
-	}
 }
 
 // peek returns u's row if it is cached and already computed, refreshing its
@@ -140,7 +183,7 @@ func (l *Lazy) peek(u int) ([]float64, bool) {
 	sh.mu.Lock()
 	e, ok := sh.rows[u]
 	if ok {
-		sh.touch(u)
+		sh.touch(e)
 	}
 	sh.mu.Unlock()
 	if !ok {
@@ -172,20 +215,24 @@ func (l *Lazy) Dist(u, v int) float64 {
 // ScanNear visits nodes in nondecreasing distance from v with a truncated
 // Dijkstra: stopping early pays only for the explored ball.
 func (l *Lazy) ScanNear(v int, fn func(u int, d float64) bool) {
-	sc := l.pool.Get().(*graph.Scanner)
+	sc := l.scanner()
 	sc.Scan(v, fn)
-	l.pool.Put(sc)
+	l.putScanner(sc)
 }
 
-// NearestOf returns every node's distance to the nearest source via one
-// multi-source Dijkstra.
-func (l *Lazy) NearestOf(sources []int) []float64 {
-	d, _ := l.g.DijkstraFrom(sources)
-	return d
+// NearestOfInto fills dst (length n) with every node's distance to the
+// nearest source: one pooled multi-source Dijkstra, no allocation.
+func (l *Lazy) NearestOfInto(sources []int, dst []float64) []float64 {
+	sc := l.scanner()
+	sc.NearestInto(sources, dst)
+	l.putScanner(sc)
+	return dst
 }
 
 // ImproveNearest folds src into near with a pruned Dijkstra that explores
 // only the region src improves.
 func (l *Lazy) ImproveNearest(src int, near []float64) {
-	l.g.ImproveNearest(src, near)
+	sc := l.scanner()
+	sc.ImproveNearest(src, near)
+	l.putScanner(sc)
 }

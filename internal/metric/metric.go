@@ -39,6 +39,24 @@ func (s *Space) Row(u int) []float64 { return s.D[u] }
 // Kind reports the dense backend.
 func (s *Space) Kind() Kind { return KindDense }
 
+// NearestOfInto returns, for every node, the distance to the nearest
+// member of sources, writing into dst (length n): one row fold per source,
+// no allocation.
+func (s *Space) NearestOfInto(sources []int, dst []float64) []float64 {
+	for v := range dst {
+		dst[v] = math.Inf(1)
+	}
+	for _, src := range sources {
+		row := s.D[src]
+		for v, d := range row {
+			if d < dst[v] {
+				dst[v] = d
+			}
+		}
+	}
+	return dst
+}
+
 // Check verifies the metric axioms up to tolerance eps: non-negativity,
 // identity, symmetry, and the triangle inequality. It returns false on the
 // first violation. O(n^3); intended for tests.
@@ -159,93 +177,110 @@ func AvgDist(o Oracle, req Requests, v int, z int64) float64 {
 //
 // Each node's scan terminates as soon as both radii are resolved, so on a
 // lazy backend the cost per node is the request ball around it, not Θ(n).
+// Scratch comes from a pooled Workspace, so steady-state calls allocate
+// only the returned slice.
 func ComputeRadii(o Oracle, req Requests, writes int64, cs []float64) []Radii {
 	n := o.N()
 	total := req.Total()
 	out := make([]Radii, n)
+	ws := wsPool.Get().(*Workspace)
 	for v := 0; v < n; v++ {
-		out[v] = radiiForNode(o, req, v, writes, total, cs[v])
+		out[v] = ws.radiiForNode(o, req, v, writes, total, cs[v])
 	}
+	putWorkspace(ws)
 	return out
 }
 
-// radiiForNode walks requests in ascending distance from v, maintaining z
-// (count so far) and sum (distance mass so far), so d(v, z) = sum / z at
-// every prefix. The write-radius and storage-number prefixes are tracked in
-// the same pass; the scan stops once both are resolved.
-func radiiForNode(o Oracle, req Requests, v int, writes, total int64, storeCost float64) Radii {
-	var r Radii
+// radiiState carries the accumulators of one per-node radii scan: the scan
+// walks requests in ascending distance from v, maintaining z (count so
+// far) and sum (distance mass so far), so d(v, z) = sum / z at every
+// prefix. The write-radius and storage-number prefixes are tracked in the
+// same pass; the scan stops once both are resolved. It lives in the
+// Workspace so the callback reading it is built once, not per node.
+type radiiState struct {
+	req       Requests
+	writes    int64
+	storeCost float64
+
 	// Write radius accumulation toward d(v, W).
-	rwSum, rwTaken := 0.0, int64(0)
-	rwDone := writes == 0
+	rw      float64
+	rwSum   float64
+	rwTaken int64
+	rwDone  bool
 	// Storage-number accumulation: zs is the smallest z whose distance
 	// prefix sum exceeds cs(v), because z * d(v, z) = (prefix sum of the z
 	// smallest request distances).
-	var z int64
-	sum := 0.0
-	lastD := 0.0
-	found := false
+	z     int64
+	sum   float64
+	lastD float64
+	found bool
+}
 
-	ScanNear(o, v, func(u int, d float64) bool {
-		c := req.Count[u]
-		if c == 0 {
-			return true
+// step consumes one scanned node; it is the ScanNear callback body.
+func (st *radiiState) step(u int, d float64) bool {
+	c := st.req.Count[u]
+	if c == 0 {
+		return true
+	}
+	if !st.rwDone {
+		take := c
+		if st.rwTaken+take > st.writes {
+			take = st.writes - st.rwTaken
 		}
-		if !rwDone {
-			take := c
-			if rwTaken+take > writes {
-				take = writes - rwTaken
-			}
-			rwSum += float64(take) * d
-			rwTaken += take
-			if rwTaken == writes {
-				r.RW = rwSum / float64(writes)
-				rwDone = true
-			}
+		st.rwSum += float64(take) * d
+		st.rwTaken += take
+		if st.rwTaken == st.writes {
+			st.rw = st.rwSum / float64(st.writes)
+			st.rwDone = true
 		}
-		if !found {
-			// Requests arrive c at a time at distance d; we need the
-			// smallest z' with z' * d(v, z') > cs, i.e. sum + k*d > cs
-			// => k > (cs - sum) / d (for d > 0).
-			if d == 0 {
-				z += c
+	}
+	if !st.found {
+		// Requests arrive c at a time at distance d; we need the
+		// smallest z' with z' * d(v, z') > cs, i.e. sum + k*d > cs
+		// => k > (cs - sum) / d (for d > 0).
+		if d == 0 {
+			st.z += c
+		} else {
+			var k int64
+			if st.sum > st.storeCost {
+				k = 1
 			} else {
-				var k int64
-				if sum > storeCost {
-					k = 1
-				} else {
-					k = int64(math.Floor((storeCost-sum)/d)) + 1
-				}
-				if k <= c {
-					z += k
-					sum += float64(k) * d
-					lastD = d
-					found = true
-				} else {
-					z += c
-					sum += float64(c) * d
-				}
+				k = int64(math.Floor((st.storeCost-st.sum)/d)) + 1
+			}
+			if k <= c {
+				st.z += k
+				st.sum += float64(k) * d
+				st.lastD = d
+				st.found = true
+			} else {
+				st.z += c
+				st.sum += float64(c) * d
 			}
 		}
-		return !(rwDone && found)
-	})
+	}
+	return !(st.rwDone && st.found)
+}
 
-	if !found {
+// finalize derives the Radii from a completed scan.
+func (st *radiiState) finalize(total int64, storeCost float64) Radii {
+	r := Radii{RW: st.rw}
+	if !st.found {
 		// cs(v) >= z * d(v, z) for all feasible z: no finite storage number.
 		// Use zs = total+1 sentinel and rs = d(v, total) so that
 		// 5*rs-style thresholds stay meaningful and maximal.
 		r.ZS = total + 1
 		if total > 0 {
-			r.RS = sum / float64(total)
+			r.RS = st.sum / float64(total)
 		}
 		return r
 	}
+	z := st.z
 	r.ZS = z
 	// rs in [d(v, zs-1), d(v, zs)) with (zs-1)*rs <= cs < zs*rs.
-	dz := sum / float64(z) // d(v, zs)
-	var dzm float64        // d(v, zs-1): drop the last request taken, at lastD.
+	dz := st.sum / float64(z) // d(v, zs)
+	var dzm float64           // d(v, zs-1): drop the last request taken, at lastD.
 	if z > 1 {
-		dzm = (sum - lastD) / float64(z-1)
+		dzm = (st.sum - st.lastD) / float64(z-1)
 	}
 	// Feasible interval for rs: [max(dzm, cs/zs-epsilonish), min(dz, cs/(zs-1))].
 	lo := dzm

@@ -58,11 +58,13 @@ type NearScanner interface {
 	ScanNear(v int, fn func(u int, d float64) bool)
 }
 
-// NearestSet is an optional Oracle capability: the distance from every node
-// to its nearest member of sources, in one pass. Graph backends implement
-// it with a multi-source Dijkstra.
-type NearestSet interface {
-	NearestOf(sources []int) []float64
+// NearestSetInto is an optional Oracle capability: the distance from every
+// node to its nearest member of sources in one pass, written into a
+// caller-owned buffer of length N so steady-state sweeps allocate nothing.
+// Graph backends implement it with a multi-source Dijkstra; all backends
+// in this package implement it.
+type NearestSetInto interface {
+	NearestOfInto(sources []int, dst []float64) []float64
 }
 
 // NearImprover is an optional Oracle capability: fold source src into an
@@ -100,22 +102,27 @@ func ScanNear(o Oracle, v int, fn func(u int, d float64) bool) {
 // sources (+Inf for an empty source set). Backends with a native
 // multi-source sweep use it; the fallback folds one source row at a time.
 func NearestOf(o Oracle, sources []int) []float64 {
-	if ns, ok := o.(NearestSet); ok && len(sources) > 0 {
-		return ns.NearestOf(sources)
+	return NearestOfInto(o, sources, make([]float64, o.N()))
+}
+
+// NearestOfInto is NearestOf writing into dst, a caller-owned buffer of
+// length o.N(): the allocation-free form for hot sweeps. It returns dst.
+func NearestOfInto(o Oracle, sources []int, dst []float64) []float64 {
+	if ns, ok := o.(NearestSetInto); ok && len(sources) > 0 {
+		return ns.NearestOfInto(sources, dst)
 	}
-	near := make([]float64, o.N())
-	for v := range near {
-		near[v] = math.Inf(1)
+	for v := range dst {
+		dst[v] = math.Inf(1)
 	}
 	for _, s := range sources {
 		row := o.Row(s)
 		for v, d := range row {
-			if d < near[v] {
-				near[v] = d
+			if d < dst[v] {
+				dst[v] = d
 			}
 		}
 	}
-	return near
+	return dst
 }
 
 // ImproveNearest folds src into near in place: near[v] = min(near[v],
@@ -173,12 +180,13 @@ func Pairwise(o Oracle, points []int) [][]float64 {
 
 // PairwiseMST returns the weight of a minimum spanning tree over points
 // under the oracle metric — the paper's multicast-tree cost for updating a
-// copy set. Prim in O(k²) after k row fetches; 0 for k <= 1.
+// copy set. Prim in O(k²) after k row fetches; 0 for k <= 1. Scratch comes
+// from a pooled Workspace, so steady-state calls allocate nothing.
 func PairwiseMST(o Oracle, points []int) float64 {
-	if len(points) <= 1 {
-		return 0
-	}
-	return pairwisePrim(o, points, nil)
+	ws := wsPool.Get().(*Workspace)
+	total := ws.PairwiseMST(o, points)
+	putWorkspace(ws)
+	return total
 }
 
 // PairwiseMSTTree returns the MST edges (as index pairs into points, parent
@@ -188,46 +196,10 @@ func PairwiseMSTTree(o Oracle, points []int) ([][2]int, float64) {
 		return nil, 0
 	}
 	var edges [][2]int
-	total := pairwisePrim(o, points, &edges)
+	ws := wsPool.Get().(*Workspace)
+	total := ws.prim(o, points, &edges)
+	putWorkspace(ws)
 	return edges, total
-}
-
-func pairwisePrim(o Oracle, points []int, edges *[][2]int) float64 {
-	d := Pairwise(o, points)
-	k := len(points)
-	inTree := make([]bool, k)
-	best := make([]float64, k)
-	from := make([]int, k)
-	for i := range best {
-		best[i] = math.Inf(1)
-		from[i] = -1
-	}
-	inTree[0] = true
-	for j := 1; j < k; j++ {
-		best[j] = d[0][j]
-		from[j] = 0
-	}
-	total := 0.0
-	for it := 1; it < k; it++ {
-		sel := -1
-		for j := 0; j < k; j++ {
-			if !inTree[j] && (sel == -1 || best[j] < best[sel]) {
-				sel = j
-			}
-		}
-		if edges != nil {
-			*edges = append(*edges, [2]int{from[sel], sel})
-		}
-		total += best[sel]
-		inTree[sel] = true
-		for j := 0; j < k; j++ {
-			if !inTree[j] && d[sel][j] < best[j] {
-				best[j] = d[sel][j]
-				from[j] = sel
-			}
-		}
-	}
-	return total
 }
 
 // Materialize returns the full dense distance matrix of the oracle. It

@@ -146,14 +146,18 @@ func (t *TreeMetric) ScanNear(v int, fn func(u int, d float64) bool) {
 	t.pool.Put(sc)
 }
 
-// NearestOf returns every node's distance to the nearest source via one
-// multi-source Dijkstra.
-func (t *TreeMetric) NearestOf(sources []int) []float64 {
-	d, _ := t.g.DijkstraFrom(sources)
-	return d
+// NearestOfInto fills dst (length n) with every node's distance to the
+// nearest source: one pooled multi-source Dijkstra, no allocation.
+func (t *TreeMetric) NearestOfInto(sources []int, dst []float64) []float64 {
+	sc := t.pool.Get().(*graph.Scanner)
+	sc.NearestInto(sources, dst)
+	t.pool.Put(sc)
+	return dst
 }
 
 // ImproveNearest folds src into near with a pruned Dijkstra.
 func (t *TreeMetric) ImproveNearest(src int, near []float64) {
-	t.g.ImproveNearest(src, near)
+	sc := t.pool.Get().(*graph.Scanner)
+	sc.ImproveNearest(src, near)
+	t.pool.Put(sc)
 }

@@ -6,8 +6,9 @@ import (
 )
 
 // resultCache is a bounded LRU map from solve-cache keys — "<instance
-// hash>|<canonical options>" strings — to finished solve results. Safe for
-// concurrent use. A non-positive capacity disables caching entirely.
+// hash>|<canonical options>" strings — to finished values (solve results,
+// and the incremental path's base records). Safe for concurrent use. A
+// non-positive capacity disables caching entirely.
 type resultCache struct {
 	cap int
 
@@ -16,10 +17,10 @@ type resultCache struct {
 	order   *list.List // front = most recently used
 }
 
-// cacheItem is one cached result with its key (needed again at eviction).
+// cacheItem is one cached value with its key (needed again at eviction).
 type cacheItem struct {
 	key string
-	val *SolveResult
+	val any
 }
 
 // newResultCache returns a cache bounded to capacity entries.
@@ -27,8 +28,8 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
 }
 
-// Get returns the cached result for key and refreshes its recency.
-func (c *resultCache) Get(key string) (*SolveResult, bool) {
+// Get returns the cached value for key and refreshes its recency.
+func (c *resultCache) Get(key string) (any, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
@@ -42,9 +43,9 @@ func (c *resultCache) Get(key string) (*SolveResult, bool) {
 	return el.Value.(*cacheItem).val, true
 }
 
-// Put stores a result under key, evicting the least-recently-used entry
+// Put stores a value under key, evicting the least-recently-used entry
 // beyond capacity.
-func (c *resultCache) Put(key string, val *SolveResult) {
+func (c *resultCache) Put(key string, val any) {
 	if c.cap <= 0 {
 		return
 	}

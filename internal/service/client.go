@@ -107,6 +107,17 @@ func (c *Client) WhatIf(ctx context.Context, id string, variants []SolveOptions)
 	return out.Results, err
 }
 
+// WhatIfScenarios solves a batch of demand-patched scenarios of one
+// resident instance under shared options. Scenarios that only change
+// object workloads are answered incrementally server-side: check
+// SolveResult.Incremental and ResolvedObjects on the outcomes.
+func (c *Client) WhatIfScenarios(ctx context.Context, id string, opts SolveOptions, scenarios []Scenario) ([]WhatIfOutcome, error) {
+	var out WhatIfResponse
+	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/whatif",
+		WhatIfRequest{Options: opts, Scenarios: scenarios}, &out)
+	return out.Results, err
+}
+
 // Cost evaluates a placement (typically a SolveResult.Placement, possibly
 // edited) under the restricted cost model.
 func (c *Client) Cost(ctx context.Context, id string, p encode.PlacementJSON) (BreakdownJSON, error) {

@@ -205,6 +205,13 @@ type SolveResult struct {
 	// it was computed once for several concurrent identical requests.
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared,omitempty"`
+	// Scenario echoes the label of the what-if scenario this result answers.
+	Scenario string `json:"scenario,omitempty"`
+	// Incremental reports that the scenario was served by the incremental
+	// path: only ResolvedObjects objects were re-solved, the rest spliced
+	// from the cached base solve.
+	Incremental     bool `json:"incremental,omitempty"`
+	ResolvedObjects int  `json:"resolved_objects,omitempty"`
 }
 
 // Engine executes solves against registered instances with result caching,
@@ -214,6 +221,7 @@ type Engine struct {
 	cfg      Config
 	registry *Registry
 	cache    *resultCache
+	bases    *resultCache // incremental what-if base records
 	flight   flightGroup
 	sem      chan struct{} // bounds concurrently executing solver runs
 	counters *counters
@@ -231,6 +239,7 @@ func NewEngine(cfg Config, reg *Registry, ct *counters) *Engine {
 		cfg:      cfg,
 		registry: reg,
 		cache:    newResultCache(cfg.CacheEntries),
+		bases:    newResultCache(cfg.CacheEntries),
 		sem:      make(chan struct{}, cfg.Workers),
 		counters: ct,
 	}
@@ -276,7 +285,7 @@ func (e *Engine) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 	for {
 		if res, ok := e.cache.Get(key); ok {
 			e.counters.hits.Add(1)
-			out := *res
+			out := *res.(*SolveResult)
 			out.Cached = true
 			return out, nil
 		}
@@ -353,42 +362,12 @@ func (e *Engine) run(ctx context.Context, id string, in *core.Instance, opts Sol
 
 	start := time.Now()
 	res := &SolveResult{InstanceID: id, Options: opts}
-	// Apply the metric override for every algorithm (validateFor has
-	// already vetted it against this instance): the baselines and the exact
-	// solvers read distances through in.Metric() just like approx does.
-	if b := metricBackends[opts.Metric]; b != core.MetricAuto {
-		in.UseMetric(b, opts.MetricRows)
+	p, treeCost, err := e.solveInstance(ctx, in, opts)
+	if err != nil {
+		e.counters.errors.Add(1)
+		return nil, err
 	}
-	var p core.Placement
-	switch opts.Algo {
-	case "approx":
-		p = core.Approximate(in, opts.coreOptions(e.runWorkers()))
-	case "tree":
-		tp, treeCost, err := solveTree(in)
-		if err != nil {
-			e.counters.errors.Add(1)
-			return nil, err
-		}
-		p, res.TreeCost = tp, treeCost
-	case "optimal":
-		sols, err := solver.OptimalRestrictedCtx(ctx, in)
-		if err != nil {
-			e.counters.errors.Add(1)
-			return nil, err
-		}
-		p = core.Placement{Copies: make([][]int, len(sols))}
-		for i, s := range sols {
-			p.Copies[i] = s.Copies
-		}
-	case "single":
-		p = core.SingleBest(in)
-	case "full":
-		p = core.FullReplication(in)
-	case "greedy":
-		p = core.GreedyAdd(in)
-	case "fl-only":
-		p = core.FacilityOnly(in, flSolvers[opts.FL])
-	}
+	res.TreeCost = treeCost
 	pj, err := encode.PlacementJSONOf(in, p)
 	if err != nil {
 		e.counters.errors.Add(1)
@@ -401,6 +380,43 @@ func (e *Engine) run(ctx context.Context, id string, in *core.Instance, opts Sol
 	}
 	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return res, nil
+}
+
+// solveInstance dispatches one solver run on an assembled instance — the
+// shared kernel of the resident-instance path (run) and the what-if
+// fallback path (scenarioFull). The float64 result is the Section 3 tree
+// cost, non-zero only for algo=tree. It applies the metric override for
+// every algorithm (validateFor has already vetted it): the baselines and
+// the exact solvers read distances through in.Metric() just like approx
+// does.
+func (e *Engine) solveInstance(ctx context.Context, in *core.Instance, opts SolveOptions) (core.Placement, float64, error) {
+	if b := metricBackends[opts.Metric]; b != core.MetricAuto {
+		in.UseMetric(b, opts.MetricRows)
+	}
+	switch opts.Algo {
+	case "tree":
+		return solveTree(in)
+	case "optimal":
+		sols, err := solver.OptimalRestrictedCtx(ctx, in)
+		if err != nil {
+			return core.Placement{}, 0, err
+		}
+		p := core.Placement{Copies: make([][]int, len(sols))}
+		for i, s := range sols {
+			p.Copies[i] = s.Copies
+		}
+		return p, 0, nil
+	case "single":
+		return core.SingleBest(in), 0, nil
+	case "full":
+		return core.FullReplication(in), 0, nil
+	case "greedy":
+		return core.GreedyAdd(in), 0, nil
+	case "fl-only":
+		return core.FacilityOnly(in, flSolvers[opts.FL]), 0, nil
+	default: // "approx"
+		return core.Approximate(in, opts.coreOptions(e.runWorkers())), 0, nil
+	}
 }
 
 // solveTree runs the Section 3 DP and returns the placement plus its

@@ -30,7 +30,9 @@ var ErrInternal = errors.New("service: internal error")
 //	GET    /instances/{id}            one instance record
 //	DELETE /instances/{id}            drop an instance
 //	POST   /instances/{id}/solve      {options?} → placement + cost
-//	POST   /instances/{id}/whatif     {variants: [options...]} → per-variant results
+//	POST   /instances/{id}/whatif     {variants: [options...]} or
+//	                                  {options?, scenarios: [scenario...]}
+//	                                  → per-variant/per-scenario results
 //	POST   /instances/{id}/cost       {placement} → cost breakdown
 //	POST   /instances/{id}/simulate   {placement} → metered message-level bill
 //	GET    /healthz                   liveness probe
@@ -77,21 +79,33 @@ func (s *Server) Stats() Stats {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
+	scenarios := s.counters.scenarios.Load()
+	incr := s.counters.incremental.Load()
+	incrRate := 0.0
+	if scenarios > 0 {
+		incrRate = float64(incr) / float64(scenarios)
+	}
 	return Stats{
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Instances:      s.engine.registry.Len(),
-		InstanceBytes:  s.engine.registry.UsedBytes(),
-		MemoryBudget:   s.cfg.MemoryBudget,
-		Evictions:      s.counters.evictions.Load(),
-		CacheEntries:   s.engine.CacheLen(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheHitRate:   rate,
-		SolvesTotal:    s.counters.runs.Load(),
-		SharedSolves:   s.counters.shared.Load(),
-		InFlightSolves: s.counters.inflight.Load(),
-		SolveErrors:    s.counters.errors.Load(),
-		Simulations:    s.counters.simulations.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Instances:          s.engine.registry.Len(),
+		InstanceBytes:      s.engine.registry.UsedBytes(),
+		MemoryBudget:       s.cfg.MemoryBudget,
+		Evictions:          s.counters.evictions.Load(),
+		CacheEntries:       s.engine.CacheLen(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheHitRate:       rate,
+		SolvesTotal:        s.counters.runs.Load(),
+		SharedSolves:       s.counters.shared.Load(),
+		InFlightSolves:     s.counters.inflight.Load(),
+		SolveErrors:        s.counters.errors.Load(),
+		Simulations:        s.counters.simulations.Load(),
+		WhatIfScenarios:    scenarios,
+		WhatIfIncremental:  incr,
+		WhatIfFull:         s.counters.fullScenarios.Load(),
+		IncrementalHitRate: incrRate,
+		ObjectsResolved:    s.counters.objectsResolved.Load(),
+		ObjectsSpliced:     s.counters.objectsSpliced.Load(),
 	}
 }
 
@@ -215,10 +229,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// WhatIfRequest is the body of POST /instances/{id}/whatif: a batch of
-// options variants solved concurrently over the worker pool.
+// WhatIfRequest is the body of POST /instances/{id}/whatif. Exactly one of
+// Variants and Scenarios must be non-empty: Variants solves the resident
+// instance under several options (the historical batch form); Scenarios
+// solves modified copies of the instance under one shared Options,
+// incrementally where only object workloads changed.
 type WhatIfRequest struct {
-	Variants []SolveOptions `json:"variants"`
+	Variants []SolveOptions `json:"variants,omitempty"`
+	// Options applies to every scenario (default options when omitted).
+	Options   SolveOptions `json:"options,omitzero"`
+	Scenarios []Scenario   `json:"scenarios,omitempty"`
 }
 
 // WhatIfResponse carries per-variant outcomes, index-aligned with the
@@ -239,16 +259,26 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if len(req.Variants) == 0 {
-		writeError(w, fmt.Errorf("service: whatif needs at least one variant"))
+	if len(req.Variants) == 0 && len(req.Scenarios) == 0 {
+		writeError(w, fmt.Errorf("service: whatif needs at least one variant or scenario"))
 		return
 	}
-	if len(req.Variants) > s.cfg.MaxBatchVariants {
+	if len(req.Variants) > 0 && len(req.Scenarios) > 0 {
+		writeError(w, fmt.Errorf("service: whatif takes variants or scenarios, not both"))
+		return
+	}
+	if n := len(req.Variants) + len(req.Scenarios); n > s.cfg.MaxBatchVariants {
 		writeError(w, fmt.Errorf("service: whatif batch of %d exceeds the %d-variant limit",
-			len(req.Variants), s.cfg.MaxBatchVariants))
+			n, s.cfg.MaxBatchVariants))
 		return
 	}
-	results, errs := s.engine.Batch(r.Context(), r.PathValue("id"), req.Variants)
+	var results []SolveResult
+	var errs []error
+	if len(req.Variants) > 0 {
+		results, errs = s.engine.Batch(r.Context(), r.PathValue("id"), req.Variants)
+	} else {
+		results, errs = s.engine.WhatIf(r.Context(), r.PathValue("id"), req.Options, req.Scenarios)
+	}
 	resp := WhatIfResponse{Results: make([]WhatIfOutcome, len(results))}
 	for i := range results {
 		if errs[i] != nil {

@@ -12,7 +12,10 @@
 //     finished results are cached keyed by (instance hash, canonical solve
 //     options), so a repeated what-if query is a map lookup. Batched
 //     variant sweeps run across a bounded worker pool and all solves of one
-//     instance share its metric.Oracle;
+//     instance share its metric.Oracle. What-if scenarios (demand-patched
+//     copies of an instance) take an incremental path that re-solves only
+//     the changed objects and splices a cached base solve for the rest,
+//     falling back to a full solve on structural changes (see Scenario);
 //   - Server exposes the engine over HTTP: instance CRUD, solve, batched
 //     what-if, cost evaluation of a client-supplied placement,
 //     message-level simulation via internal/netsim, plus /healthz and an
@@ -50,9 +53,13 @@ type Config struct {
 	// MaxUploadBytes caps the size of an uploaded instance document.
 	// 0 selects DefaultMaxUploadBytes.
 	MaxUploadBytes int64
-	// MaxBatchVariants caps the number of options variants in one what-if
-	// request. 0 selects DefaultMaxBatchVariants.
+	// MaxBatchVariants caps the number of options variants or scenarios in
+	// one what-if request. 0 selects DefaultMaxBatchVariants.
 	MaxBatchVariants int
+	// DisableIncremental forces every what-if scenario down the full-solve
+	// path. Off by default; an operational escape hatch, and the lever the
+	// benchmark harness uses to measure the incremental path's gain.
+	DisableIncremental bool
 }
 
 // Defaults applied by New for zero Config fields.
@@ -98,6 +105,12 @@ type counters struct {
 	inflight    atomic.Int64 // currently executing solver runs
 	evictions   atomic.Int64 // instances evicted under the memory budget
 	simulations atomic.Int64 // message-level simulation runs
+
+	scenarios       atomic.Int64 // what-if scenarios answered
+	incremental     atomic.Int64 // scenarios served by the incremental path
+	fullScenarios   atomic.Int64 // scenarios that fell back to a full solve
+	objectsResolved atomic.Int64 // objects re-solved by incremental scenarios
+	objectsSpliced  atomic.Int64 // objects spliced from cached base solves
 }
 
 // Stats is a point-in-time snapshot of the service, rendered by /statz.
@@ -131,4 +144,19 @@ type Stats struct {
 	SolveErrors int64 `json:"solve_errors"`
 	// Simulations counts message-level simulation runs.
 	Simulations int64 `json:"simulations"`
+	// WhatIfScenarios counts answered what-if scenarios;
+	// WhatIfIncremental of them took the incremental path and WhatIfFull
+	// fell back to a full solve (storage change, non-approx algorithm, or
+	// incremental disabled).
+	WhatIfScenarios   int64 `json:"whatif_scenarios"`
+	WhatIfIncremental int64 `json:"whatif_incremental"`
+	WhatIfFull        int64 `json:"whatif_full"`
+	// IncrementalHitRate is WhatIfIncremental / WhatIfScenarios (0 when no
+	// scenarios were asked).
+	IncrementalHitRate float64 `json:"incremental_hit_rate"`
+	// ObjectsResolved / ObjectsSpliced count, across incremental scenarios,
+	// objects re-solved versus spliced from the cached base solve — the
+	// work the incremental path did versus avoided.
+	ObjectsResolved int64 `json:"objects_resolved"`
+	ObjectsSpliced  int64 `json:"objects_spliced"`
 }

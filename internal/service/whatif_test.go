@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/graph"
+)
+
+// whatifInstance builds a seeded instance with small integer weights and
+// fees, so costs are exact in float64 and the incremental path can be
+// asserted byte-identical to full re-solves.
+func whatifInstance(seed int64, n, objects int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	w := func(u, v int) float64 { return float64(1 + rng.Intn(9)) }
+	var g *graph.Graph
+	g = gen.RandomTree(n, rng, w)
+	for e := 0; e < n/2; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = float64(1 + rng.Intn(25))
+	}
+	objs := make([]core.Object, objects)
+	for i := range objs {
+		objs[i] = core.Object{
+			Name:   fmt.Sprintf("obj-%d", i),
+			Size:   float64(1 + rng.Intn(3)),
+			Reads:  make([]int64, n),
+			Writes: make([]int64, n),
+		}
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.8 {
+				objs[i].Reads[v] = rng.Int63n(8)
+			}
+			if rng.Float64() < 0.4 {
+				objs[i].Writes[v] = rng.Int63n(4)
+			}
+		}
+	}
+	return core.MustInstance(g, storage, objs)
+}
+
+// randomScenario patches a random subset of objects — fresh demand
+// vectors, size changes, deliberate no-op patches — and occasionally the
+// storage vector, covering incremental, splice-only, and fallback paths.
+func randomScenario(rng *rand.Rand, in *core.Instance) Scenario {
+	n := in.N()
+	var sc Scenario
+	for i := range in.Objects {
+		if rng.Float64() > 0.5 {
+			continue
+		}
+		p := ObjectPatch{Name: in.Objects[i].Name}
+		switch rng.Intn(4) {
+		case 0: // new read vector
+			reads := make([]int64, n)
+			for v := range reads {
+				reads[v] = rng.Int63n(9)
+			}
+			p.Reads = reads
+		case 1: // new write vector
+			writes := make([]int64, n)
+			for v := range writes {
+				if rng.Float64() < 0.3 {
+					writes[v] = rng.Int63n(5)
+				}
+			}
+			p.Writes = writes
+		case 2: // size-only change: must splice without re-solving
+			s := float64(1 + rng.Intn(7))
+			p.Size = &s
+		case 3: // no-op patch: identical vector must not count as changed
+			p.Reads = append([]int64(nil), in.Objects[i].Reads...)
+		}
+		sc.Objects = append(sc.Objects, p)
+	}
+	if rng.Float64() < 0.15 { // structural change: full-solve fallback
+		storage := make([]float64, n)
+		for v := range storage {
+			storage[v] = float64(1 + rng.Intn(25))
+		}
+		sc.Storage = storage
+	}
+	return sc
+}
+
+// registerFor uploads a fresh copy of the seeded instance into a server
+// and returns its id.
+func registerFor(t *testing.T, srv *Server, seed int64, n, objects int) string {
+	t.Helper()
+	info, _ := srv.Engine().Registry().Add("", whatifInstance(seed, n, objects))
+	return info.ID
+}
+
+// TestScenarioIncrementalEquivalence is the incremental path's contract:
+// every scenario must produce a placement and cost byte-identical to a
+// full from-scratch solve of the patched instance.
+func TestScenarioIncrementalEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 5; seed++ {
+		const n, objects = 24, 4
+		incr := New(Config{Workers: 2})
+		full := New(Config{Workers: 2, DisableIncremental: true})
+		idI := registerFor(t, incr, seed, n, objects)
+		idF := registerFor(t, full, seed, n, objects)
+		rng := rand.New(rand.NewSource(seed + 100))
+		base := whatifInstance(seed, n, objects)
+		for k := 0; k < 6; k++ {
+			sc := randomScenario(rng, base)
+			sc.Label = fmt.Sprintf("s%d", k)
+			got, err := incr.Engine().Scenario(ctx, idI, SolveOptions{}, sc)
+			if err != nil {
+				t.Fatalf("seed %d scenario %d: incremental: %v", seed, k, err)
+			}
+			want, err := full.Engine().Scenario(ctx, idF, SolveOptions{}, sc)
+			if err != nil {
+				t.Fatalf("seed %d scenario %d: full: %v", seed, k, err)
+			}
+			if !reflect.DeepEqual(got.Placement.Copies, want.Placement.Copies) {
+				t.Fatalf("seed %d scenario %d: incremental placement %v, full %v",
+					seed, k, got.Placement.Copies, want.Placement.Copies)
+			}
+			if got.Breakdown != want.Breakdown {
+				t.Fatalf("seed %d scenario %d: incremental breakdown %+v, full %+v",
+					seed, k, got.Breakdown, want.Breakdown)
+			}
+			if sc.Storage == nil && !got.Incremental {
+				t.Fatalf("seed %d scenario %d: workload-only scenario did not take the incremental path", seed, k)
+			}
+			if sc.Storage != nil && got.Incremental {
+				t.Fatalf("seed %d scenario %d: storage scenario bypassed the full-solve fallback", seed, k)
+			}
+			if want.Incremental {
+				t.Fatalf("seed %d scenario %d: DisableIncremental engine answered incrementally", seed, k)
+			}
+		}
+	}
+}
+
+// TestScenarioConcurrentEquivalence runs a batch of scenarios through
+// WhatIf concurrently (exercised under -race in CI) and checks every
+// outcome against an independent full solve.
+func TestScenarioConcurrentEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const seed, n, objects = 7, 20, 3
+	incr := New(Config{Workers: 4})
+	full := New(Config{Workers: 2, DisableIncremental: true})
+	idI := registerFor(t, incr, seed, n, objects)
+	idF := registerFor(t, full, seed, n, objects)
+	rng := rand.New(rand.NewSource(seed))
+	base := whatifInstance(seed, n, objects)
+	scenarios := make([]Scenario, 12)
+	for i := range scenarios {
+		scenarios[i] = randomScenario(rng, base)
+		scenarios[i].Label = fmt.Sprintf("c%d", i)
+	}
+	results, errs := incr.Engine().WhatIf(ctx, idI, SolveOptions{}, scenarios)
+	for i := range scenarios {
+		if errs[i] != nil {
+			t.Fatalf("scenario %d: %v", i, errs[i])
+		}
+		want, err := full.Engine().Scenario(ctx, idF, SolveOptions{}, scenarios[i])
+		if err != nil {
+			t.Fatalf("scenario %d full: %v", i, err)
+		}
+		if !reflect.DeepEqual(results[i].Placement.Copies, want.Placement.Copies) {
+			t.Fatalf("scenario %d: concurrent placement diverged from full solve", i)
+		}
+		if results[i].Breakdown != want.Breakdown {
+			t.Fatalf("scenario %d: concurrent breakdown %+v, full %+v", i, results[i].Breakdown, want.Breakdown)
+		}
+		if results[i].Scenario != scenarios[i].Label {
+			t.Fatalf("scenario %d: label %q not echoed (got %q)", i, scenarios[i].Label, results[i].Scenario)
+		}
+	}
+}
+
+// TestScenarioBookkeeping pins the incremental path's accounting: a
+// one-object patch re-solves exactly one object, splices the rest, and
+// the /statz counters reflect it.
+func TestScenarioBookkeeping(t *testing.T) {
+	ctx := context.Background()
+	const seed, n, objects = 3, 24, 4
+	srv := New(Config{Workers: 2})
+	id := registerFor(t, srv, seed, n, objects)
+	base := whatifInstance(seed, n, objects)
+
+	reads := make([]int64, n)
+	for v := range reads {
+		reads[v] = int64(v % 5)
+	}
+	res, err := srv.Engine().Scenario(ctx, id, SolveOptions{}, Scenario{
+		Objects: []ObjectPatch{{Name: base.Objects[1].Name, Reads: reads}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental || res.ResolvedObjects != 1 {
+		t.Fatalf("one-object patch: incremental=%v resolved=%d, want true/1", res.Incremental, res.ResolvedObjects)
+	}
+	// A size-only change must splice everything.
+	size := 5.0
+	res, err = srv.Engine().Scenario(ctx, id, SolveOptions{}, Scenario{
+		Objects: []ObjectPatch{{Name: base.Objects[0].Name, Size: &size}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental || res.ResolvedObjects != 0 {
+		t.Fatalf("size-only patch: incremental=%v resolved=%d, want true/0", res.Incremental, res.ResolvedObjects)
+	}
+	st := srv.Stats()
+	if st.WhatIfScenarios != 2 || st.WhatIfIncremental != 2 || st.WhatIfFull != 0 {
+		t.Fatalf("stats scenarios=%d incremental=%d full=%d, want 2/2/0",
+			st.WhatIfScenarios, st.WhatIfIncremental, st.WhatIfFull)
+	}
+	if st.IncrementalHitRate != 1 {
+		t.Fatalf("incremental hit rate %v, want 1", st.IncrementalHitRate)
+	}
+	if st.ObjectsResolved != 1 || st.ObjectsSpliced != 7 {
+		t.Fatalf("objects resolved=%d spliced=%d, want 1/7", st.ObjectsResolved, st.ObjectsSpliced)
+	}
+	// Unknown object names are client errors, not fallbacks.
+	if _, err := srv.Engine().Scenario(ctx, id, SolveOptions{}, Scenario{
+		Objects: []ObjectPatch{{Name: "no-such-object"}},
+	}); err == nil {
+		t.Fatal("patching an unknown object name did not error")
+	}
+	// With result caching disabled the incremental path cannot amortise
+	// its base record and must fall back to full solves.
+	noCache := New(Config{Workers: 2, CacheEntries: -1})
+	idNC := registerFor(t, noCache, seed, n, objects)
+	res, err = noCache.Engine().Scenario(ctx, idNC, SolveOptions{}, Scenario{
+		Objects: []ObjectPatch{{Name: base.Objects[1].Name, Reads: reads}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental {
+		t.Fatal("cache-disabled engine answered incrementally")
+	}
+}

@@ -38,11 +38,13 @@ func Exact(g *graph.Graph, terminals []int) float64 {
 	n := g.N()
 
 	full := 1<<k - 1
+	// One scanner serves every terminal row and relaxation pass, so the DP's
+	// Dijkstra bookkeeping (heap, stamps) is allocated once, not per subset.
+	sc := graph.NewScanner(g)
 	// dp[mask][v]: min tree weight spanning terminals in mask united with v.
 	dp := make([][]float64, full+1)
 	for i, t := range terminals {
-		row, _ := g.Dijkstra(t)
-		dp[1<<i] = row
+		dp[1<<i] = sc.RowInto(t, make([]float64, n))
 	}
 	for mask := 1; mask <= full; mask++ {
 		if mask&(mask-1) == 0 {
@@ -66,8 +68,9 @@ func Exact(g *graph.Graph, terminals []int) float64 {
 		}
 		// Propagation step: best meeting point may be elsewhere; relax by
 		// shortest paths (min_u dp[mask][u] + d(u, v) is exactly a
-		// multi-source Dijkstra with dp[mask] as initial potentials).
-		dp[mask] = g.Relax(dp[mask])
+		// multi-source Dijkstra with dp[mask] as initial potentials),
+		// in place through the shared scanner.
+		sc.Relax(dp[mask])
 	}
 	best := math.Inf(1)
 	for v := 0; v < n; v++ {
