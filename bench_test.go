@@ -1,5 +1,5 @@
 // Benchmarks regenerating the evaluation suite: one benchmark per
-// experiment table (E1–E12, see DESIGN.md §5 and EXPERIMENTS.md), plus
+// experiment table (E1–E18, see EXPERIMENTS.md), plus
 // micro-benchmarks of the core algorithmic kernels. Run with
 //
 //	go test -bench=. -benchmem
@@ -16,6 +16,7 @@ import (
 	"netplace/internal/facility"
 	"netplace/internal/gen"
 	"netplace/internal/metric"
+	"netplace/internal/stream"
 	"netplace/internal/tree"
 	"netplace/internal/workload"
 )
@@ -52,6 +53,7 @@ func BenchmarkE14Congestion(b *testing.B)    { benchTable(b, exper.E14Congestion
 func BenchmarkE15Capacity(b *testing.B)      { benchTable(b, exper.E15Capacity) }
 func BenchmarkE16Sizes(b *testing.B)         { benchTable(b, exper.E16Sizes) }
 func BenchmarkE17Latency(b *testing.B)       { benchTable(b, exper.E17Latency) }
+func BenchmarkE18Adaptive(b *testing.B)      { benchTable(b, exper.E18AdaptiveStreaming) }
 
 // Micro-benchmarks of the algorithmic kernels.
 
@@ -283,6 +285,35 @@ func BenchmarkResidentNearestOf2500Lazy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchSink += metric.NearestOfInto(o, copies, dst)[0]
 	}
+}
+
+// BenchmarkStreamEpoch2500Lazy measures one full streaming epoch (512
+// events of exact accounting plus the estimate roll, incremental
+// re-solve and hysteresis at the close) on the warm resident instance —
+// the same workload as cmd/benchreport's stream_epoch_2500 kernel.
+func BenchmarkStreamEpoch2500Lazy(b *testing.B) {
+	in := residentInstance(8)
+	rng := rand.New(rand.NewSource(7))
+	const epoch = 512
+	seq := workload.Sequence(in.Objects, epoch*64, rng)
+	eng := stream.New(in, stream.Config{
+		Epoch: epoch, Window: 4,
+		Solve: core.Options{Metric: core.MetricLazy, MetricRows: 64},
+	})
+	feed := func(k int) {
+		for i := 0; i < epoch; i++ {
+			if _, err := eng.Observe(seq[(k*epoch+i)%len(seq)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	feed(0) // warm: first epoch close adopts the initial placement
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed(i + 1)
+	}
+	benchSink += eng.Stats().Total()
 }
 
 // BenchmarkLazyRowHitByBudget measures a cache-hit Row fetch with the cache

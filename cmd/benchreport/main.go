@@ -10,10 +10,12 @@
 //
 // The kernels cover the steady-state hot path of the placement service on
 // a resident 2500-node lazy-oracle instance: full re-solve, cost
-// evaluation, multi-source sweep, cache-hit row fetch, and the batched
+// evaluation, multi-source sweep, cache-hit row fetch, the batched
 // what-if path both incremental and with the incremental path disabled
-// (the from-scratch fallback), so the report captures exactly the ratio
-// the incremental path buys.
+// (the from-scratch fallback) — so the report captures exactly the ratio
+// the incremental path buys — and, since PR 4, one full streaming epoch
+// of the adaptive engine (event accounting + estimate roll + incremental
+// re-solve).
 //
 // With -baseline, the current numbers are compared entry by entry against
 // the committed report: a kernel slower (or allocation-heavier) than
@@ -28,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"testing"
 
@@ -35,6 +38,8 @@ import (
 	"netplace/internal/core"
 	"netplace/internal/metric"
 	"netplace/internal/service"
+	"netplace/internal/stream"
+	"netplace/internal/workload"
 )
 
 // metricJSON is one kernel's measured costs.
@@ -116,6 +121,29 @@ func kernels() map[string]func(b *testing.B) {
 		},
 		"whatif_full_2500": func(b *testing.B) {
 			benchWhatIf(b, service.Config{Workers: 2, DisableIncremental: true})
+		},
+		// One op = one full streaming epoch on a resident 2500-node
+		// instance: 512 Observe calls (accounting against the warm lazy
+		// oracle) plus the epoch close (estimate roll, incremental
+		// re-solve of changed objects, hysteresis).
+		"stream_epoch_2500": func(b *testing.B) {
+			in := residentInstance(8)
+			rng := rand.New(rand.NewSource(7))
+			const epoch = 512
+			seq := workload.Sequence(in.Objects, epoch*64, rng)
+			eng := stream.New(in, stream.Config{Epoch: epoch, Window: 4, Solve: lazyOpts})
+			feed := func(k int) {
+				for i := 0; i < epoch; i++ {
+					if _, err := eng.Observe(seq[(k*epoch+i)%len(seq)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			feed(0) // warm: first epoch close adopts the initial placement
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				feed(i + 1)
+			}
 		},
 	}
 }

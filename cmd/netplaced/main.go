@@ -20,8 +20,15 @@
 //	                                  scenarios (incremental re-solve)
 //	POST   /instances/{id}/cost       price a client-supplied placement
 //	POST   /instances/{id}/simulate   message-level replay of the workload
+//	POST   /v1/sessions               open a streaming adaptive session
+//	GET    /v1/sessions               list open sessions
+//	GET    /v1/sessions/{id}          session record + stats
+//	DELETE /v1/sessions/{id}          close a session
+//	POST   /v1/sessions/{id}/events   stream request events (epoch re-solve)
+//	POST   /v1/sessions/{id}/flush    close the open partial epoch
+//	GET    /v1/sessions/{id}/placement  current adaptive placement
 //	GET    /healthz                   liveness
-//	GET    /statz                     cache/solve/eviction/incremental statistics
+//	GET    /statz                     cache/solve/eviction/incremental/session statistics
 //
 // With -pprof the profiling endpoints are mounted as well:
 //
@@ -61,6 +68,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "max concurrently executing solver runs (0: GOMAXPROCS)")
 		timeout   = flag.Duration("solve-timeout", 0, "per-solve wall-clock cap (0: default, <0: none)")
 		maxBatch  = flag.Int("max-batch", 0, "max variants per what-if request (0: default)")
+		maxSess   = flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0: default)")
 		noIncr    = flag.Bool("no-incremental", false, "answer every what-if scenario with a full solve")
 		withPprof = flag.Bool("pprof", false, "expose /debug/pprof and /debug/memz profiling endpoints")
 	)
@@ -72,6 +80,7 @@ func main() {
 		Workers:            *workers,
 		SolveTimeout:       *timeout,
 		MaxBatchVariants:   *maxBatch,
+		MaxSessions:        *maxSess,
 		DisableIncremental: *noIncr,
 	})
 	handler := srv.Handler()

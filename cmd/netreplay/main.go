@@ -1,0 +1,221 @@
+// Command netreplay replays a request trace against the placement
+// strategies and reports per-epoch costs — the evaluation harness for the
+// streaming adaptive engine.
+//
+// In-process mode (the default) runs all three strategies on one trace
+// under identical accounting and prints a per-epoch cost table plus
+// totals:
+//
+//   - static: the paper's algorithm placed once from the instance's
+//     frequency tables (clairvoyant);
+//   - online: the counter-based dynamic strategy (internal/online);
+//   - adaptive: the streaming engine (internal/stream) — windowed /
+//     EWMA estimates, epoch re-solve, hysteresis.
+//
+// Server mode (-server URL) uploads the instance to a running netplaced,
+// opens a streaming session, streams the trace in batches, and reports
+// the server-side session stats and final placement.
+//
+// Usage:
+//
+//	netreplay -instance inst.json -trace trace.jsonl [-epoch 256]
+//	          [-window 4] [-alpha 0] [-horizon 0] [-payback 2]
+//	          [-migration-factor 1] [-json] [-server http://host:8723]
+//
+// The trace is JSONL, one event per line (see internal/stream.EventJSON):
+//
+//	{"obj":"obj-a","node":5}
+//	{"obj":"obj-a","node":0,"write":true,"count":3}
+//
+// A tiny bundled example lives under cmd/netreplay/testdata/ and is
+// exercised by CI:
+//
+//	go run ./cmd/netreplay -instance cmd/netreplay/testdata/instance.json \
+//	    -trace cmd/netreplay/testdata/trace.jsonl -epoch 100
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/service"
+	"netplace/internal/stream"
+	"netplace/internal/workload"
+)
+
+func main() {
+	var (
+		instPath  = flag.String("instance", "", "instance JSON file (required)")
+		tracePath = flag.String("trace", "", "JSONL trace file (required)")
+		epoch     = flag.Int("epoch", 0, "events per re-placement epoch (0: stream default)")
+		window    = flag.Int("window", 0, "sliding-window width in epochs (0: stream default)")
+		alpha     = flag.Float64("alpha", 0, "EWMA weight per epoch (0: sliding window)")
+		horizon   = flag.Int("horizon", 0, "storage amortisation horizon in events (0: window span)")
+		payback   = flag.Float64("payback", 0, "epochs a move's saving must pay back its migration (0: default)")
+		migf      = flag.Float64("migration-factor", 0, "hysteresis migration price factor (0: default 1, negative: disabled)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of a table")
+		server    = flag.String("server", "", "replay against a running netplaced at this base URL instead of in-process")
+	)
+	flag.Parse()
+	if *instPath == "" || *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "netreplay: -instance and -trace are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in, err := readInstance(*instPath)
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := stream.ReadTrace(tf, in)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(seq) == 0 {
+		fatal(fmt.Errorf("trace %s holds no events", *tracePath))
+	}
+
+	cfg := stream.Config{
+		Epoch: *epoch, Window: *window, Alpha: *alpha, Horizon: *horizon,
+		Payback: *payback, MigrationFactor: *migf,
+	}
+	if *server != "" {
+		if err := replayServer(*server, in, seq, cfg, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cmp := stream.Compare(in, seq, cfg)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printComparison(cmp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netreplay:", err)
+	os.Exit(1)
+}
+
+func readInstance(path string) (*core.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return encode.ReadInstance(f)
+}
+
+// printComparison renders the three strategies' per-epoch costs and
+// totals as an aligned table.
+func printComparison(cmp stream.Comparison) {
+	fmt.Printf("trace: %d events, %d epochs of %d\n\n", cmp.Events, cmp.Epochs, cmp.EpochEvents)
+	fmt.Printf("%6s %12s %12s %12s\n", "epoch", "static", "online", "adaptive")
+	for k := 0; k < cmp.Epochs; k++ {
+		fmt.Printf("%6d %12.1f %12.1f %12.1f\n",
+			k+1, cmp.Static.PerEpoch[k], cmp.Online.PerEpoch[k], cmp.Adaptive.PerEpoch[k])
+	}
+	fmt.Println()
+	row := func(sc stream.StrategyCost, extra string) {
+		fmt.Printf("%-9s total %12.1f  (transmission %.1f, storage %.1f, migration %.1f)%s\n",
+			sc.Name, sc.Total(), sc.Transmission, sc.Storage, sc.Migration, extra)
+	}
+	row(cmp.Static, "")
+	row(cmp.Online, fmt.Sprintf("  repl/drops %d/%d", cmp.Online.Replications, cmp.Online.Drops))
+	row(cmp.Adaptive, fmt.Sprintf("  moves/resolves %d/%d", cmp.Adaptive.Moves, cmp.Adaptive.Resolves))
+	if s, a := cmp.Static.Total(), cmp.Adaptive.Total(); s > 0 {
+		fmt.Printf("\nadaptive/static %.3f, online/static %.3f\n", a/s, cmp.Online.Total()/s)
+	}
+}
+
+// serverBatch is the event batch size streamed per request in server mode.
+const serverBatch = 512
+
+// replayServer streams the trace into a netplaced session and reports
+// the server-side accounting.
+func replayServer(base string, in *core.Instance, seq []workload.Request, cfg stream.Config, asJSON bool) error {
+	ctx := context.Background()
+	c := service.NewClient(base, nil)
+	up, err := c.Upload(ctx, "netreplay", in)
+	if err != nil {
+		return err
+	}
+	sess, err := c.OpenSession(ctx, up.ID, service.SessionConfig{
+		Epoch: cfg.Epoch, Window: cfg.Window, Alpha: cfg.Alpha,
+		Horizon: cfg.Horizon, Payback: cfg.Payback, MigrationFactor: cfg.MigrationFactor,
+	})
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(in.Objects))
+	for i := range in.Objects {
+		names[i] = encode.ObjectName(&in.Objects[i], i)
+	}
+	var epochs []service.SessionEpochJSON
+	for start := 0; start < len(seq); start += serverBatch {
+		end := start + serverBatch
+		if end > len(seq) {
+			end = len(seq)
+		}
+		batch := make([]service.SessionEvent, 0, end-start)
+		for _, r := range seq[start:end] {
+			batch = append(batch, service.SessionEvent{Obj: names[r.Obj], Node: r.V, Write: r.Write})
+		}
+		resp, err := c.SessionEvents(ctx, sess.SessionID, batch)
+		if err != nil {
+			return err
+		}
+		epochs = append(epochs, resp.Epochs...)
+	}
+	// Close the final partial epoch so the server-side accounting matches
+	// the in-process harness on the same trace.
+	fl, err := c.SessionFlush(ctx, sess.SessionID)
+	if err != nil {
+		return err
+	}
+	epochs = append(epochs, fl.Epochs...)
+	pl, err := c.SessionPlacement(ctx, sess.SessionID)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Session   service.SessionInfo              `json:"session"`
+			Epochs    []service.SessionEpochJSON       `json:"epochs"`
+			Placement service.SessionPlacementResponse `json:"placement"`
+		}{sess, epochs, pl})
+	}
+	fmt.Printf("session %s over instance %s: %d events, %d epochs\n",
+		sess.SessionID, up.ID, pl.Stats.Events, pl.Stats.Epochs)
+	fmt.Printf("%6s %8s %10s %8s %8s %14s %12s\n",
+		"epoch", "events", "resolved", "moved", "rejected", "transmission", "migration")
+	for _, ep := range epochs {
+		fmt.Printf("%6d %8d %10d %8d %8d %14.1f %12.1f\n",
+			ep.Epoch, ep.Events, ep.Resolved, ep.Moved, ep.Rejected, ep.Transmission, ep.Migration)
+	}
+	fmt.Printf("\ntotal %.1f (transmission %.1f, storage %.1f, migration %.1f), moves %d, resolves %d\n",
+		pl.Stats.Total, pl.Stats.Transmission, pl.Stats.Storage, pl.Stats.Migration,
+		pl.Stats.Moves, pl.Stats.Resolves)
+	if pl.Breakdown != nil {
+		fmt.Printf("final placement static cost: %.1f\n", pl.Breakdown.Total)
+	}
+	return c.CloseSession(ctx, sess.SessionID)
+}

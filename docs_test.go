@@ -2,10 +2,12 @@ package netplace_test
 
 // This file is the repository's documentation gate, run by CI alongside
 // gofmt and go vet: every package must carry a package-level doc comment,
-// and every exported symbol (type, function, method, and var/const — at
-// the declaration-group level, per godoc convention) must carry a doc
-// comment. It is a test rather than a separate linter binary so that
-// `go test ./...` enforces it without external tooling.
+// every exported symbol (type, function, method, and var/const — at the
+// declaration-group level, per godoc convention) must carry a doc
+// comment, every HTTP route the service registers must be documented in
+// docs/http-api.md, and every examples/ directory must be referenced
+// from README.md. It is a test rather than a separate linter binary so
+// that `go test ./...` enforces it without external tooling.
 
 import (
 	"fmt"
@@ -15,6 +17,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"testing"
@@ -152,6 +155,75 @@ func undocumented(fset *token.FileSet, decl ast.Decl) []string {
 		}
 	}
 	return out
+}
+
+// routePattern matches the method+path literals registered on the
+// service mux, e.g. `HandleFunc("POST /instances/{id}/solve"`.
+var routePattern = regexp.MustCompile(`HandleFunc\("((?:GET|POST|PUT|DELETE|PATCH) [^"]+)"`)
+
+// TestHTTPRoutesDocumented asserts that every HTTP route registered in
+// internal/service/server.go appears verbatim (method and path) in
+// docs/http-api.md — the docs cannot silently fall behind the API.
+func TestHTTPRoutesDocumented(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("internal", "service", "server.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := routePattern.FindAllStringSubmatch(string(src), -1)
+	if len(matches) < 10 {
+		t.Fatalf("found only %d routes in internal/service/server.go; pattern rot?", len(matches))
+	}
+	docs, err := os.ReadFile(filepath.Join("docs", "http-api.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if !strings.Contains(string(docs), m[1]) {
+			t.Errorf("route %q registered in internal/service/server.go but missing from docs/http-api.md", m[1])
+		}
+	}
+}
+
+// TestExamplesReferenced asserts that every examples/ directory is
+// referenced from README.md, so shipped examples stay discoverable.
+func TestExamplesReferenced(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), "examples/"+e.Name()) &&
+			!strings.Contains(string(readme), "`"+e.Name()+"`") {
+			t.Errorf("examples/%s is not referenced from README.md", e.Name())
+		}
+	}
+}
+
+// TestDocsCrossLinked asserts that the docs/ pages are linked from
+// README.md and ARCHITECTURE.md.
+func TestDocsCrossLinked(t *testing.T) {
+	pages, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil || len(pages) < 3 {
+		t.Fatalf("docs pages missing (%v): %v", pages, err)
+	}
+	for _, top := range []string{"README.md", "ARCHITECTURE.md"} {
+		buf, err := os.ReadFile(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, page := range pages {
+			if !strings.Contains(string(buf), filepath.ToSlash(page)) {
+				t.Errorf("%s does not link %s", top, page)
+			}
+		}
+	}
 }
 
 // receiverType extracts the receiver's type name from a method receiver

@@ -1,0 +1,71 @@
+// Adaptive example — what if the frequencies are not known, but can be
+// learned?
+//
+// The paper's algorithm needs the request frequencies up front; the
+// online strategy (examples/online) needs nothing but adapts by
+// counting. The streaming engine sits between them: it estimates
+// frequencies from the live request stream over a sliding window and
+// re-solves the placement at epoch boundaries through the same
+// incremental machinery the placement service uses, moving copies only
+// when the estimated saving pays for the migration.
+//
+// This demo drives all three strategies over one drifting trace — the
+// hotspot demand migrates to a different part of the network mid-trace —
+// under identical accounting, and prints the per-epoch bills: watch the
+// adaptive strategy converge after each drift while the clairvoyant
+// static placement (solved from the *average* tables) overpays in both
+// halves and the counter strategy keeps paying to rediscover locality.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/stream"
+	"netplace/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(4242))
+	g := gen.Clustered(gen.ClusteredParams{
+		Clusters: 4, ClusterSize: 5,
+		IntraWeight: 0.3, InterWeight: 3, Backbone: 0.3,
+	}, rng)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = 2 + rng.Float64()*2
+	}
+
+	// Two demand regimes with hotspots on different node groups; the
+	// static solver sees only the summed (average) tables.
+	avg, seq := stream.Drift(n, 2, 600, rng, func(phase int) []core.Object {
+		r2 := rand.New(rand.NewSource(int64(1000 + phase)))
+		return workload.Generate(n, workload.Spec{
+			Objects: 2, MeanRate: 3, WriteFraction: 0.15, ZipfS: 0.8,
+			Hotspot: 0.7, HotspotNodes: 5,
+		}, r2)
+	})
+	in := core.MustInstance(g, storage, avg)
+
+	cmp := stream.Compare(in, seq, stream.Config{Epoch: 50, Window: 4})
+	fmt.Printf("drifting trace: %d events, %d epochs of %d (drift at epoch %d)\n\n",
+		cmp.Events, cmp.Epochs, cmp.EpochEvents, cmp.Epochs/2+1)
+	fmt.Printf("%6s %10s %10s %10s\n", "epoch", "static", "online", "adaptive")
+	for k := 0; k < cmp.Epochs; k++ {
+		fmt.Printf("%6d %10.1f %10.1f %10.1f\n",
+			k+1, cmp.Static.PerEpoch[k], cmp.Online.PerEpoch[k], cmp.Adaptive.PerEpoch[k])
+	}
+	fmt.Printf("\n%-9s %10.1f\n", "static", cmp.Static.Total())
+	fmt.Printf("%-9s %10.1f  (%d replications, %d drops)\n",
+		"online", cmp.Online.Total(), cmp.Online.Replications, cmp.Online.Drops)
+	fmt.Printf("%-9s %10.1f  (%d moves over %d re-solves, %.1f migration fees)\n",
+		"adaptive", cmp.Adaptive.Total(), cmp.Adaptive.Moves, cmp.Adaptive.Resolves,
+		cmp.Adaptive.Migration)
+	fmt.Println("\nthe adaptive engine pays estimation lag and migration fees, but unlike")
+	fmt.Println("the static solve it follows the drift, and unlike the counter strategy")
+	fmt.Println("it re-places from estimated frequencies instead of rediscovering them")
+	fmt.Println("one replication threshold at a time.")
+}

@@ -171,6 +171,24 @@ func (in *Instance) WithObjects(objects []Object) (*Instance, error) {
 	return out, nil
 }
 
+// QuantiseDemand converts an estimated per-event rate vector into the
+// integral frequency table the solvers consume: dst[v] = round(rate[v] *
+// scale), clamped at zero. scale is the number of events the demand patch
+// should represent — typically the horizon one storage fee amortises
+// over, so that estimated traffic and storage fees meet at the same
+// balance point the static model uses. It is the quantisation step of
+// every estimate-driven re-solve (internal/stream, and any controller
+// patching demand through Instance.WithObjects).
+func QuantiseDemand(dst []int64, rate []float64, scale float64) {
+	for v := range dst {
+		c := math.Round(rate[v] * scale)
+		if c < 0 || math.IsNaN(c) {
+			c = 0
+		}
+		dst[v] = int64(c)
+	}
+}
+
 // MustInstance is NewInstance that panics on error; for tests and examples.
 func MustInstance(g *graph.Graph, storage []float64, objects []Object) *Instance {
 	in, err := NewInstance(g, storage, objects)

@@ -132,8 +132,16 @@ func (pj PlacementJSON) Placement(in *core.Instance) (core.Placement, error) {
 
 // objectName is the wire name of object i: its Name, or object-<i>.
 func objectName(in *core.Instance, i int) string {
-	if in.Objects[i].Name != "" {
-		return in.Objects[i].Name
+	return ObjectName(&in.Objects[i], i)
+}
+
+// ObjectName is the wire name of object o at index i: its Name, or
+// object-<i> when unnamed. Every component that keys objects by name on
+// the wire (placements, what-if patches, traces, session events) must
+// use this one rule.
+func ObjectName(o *core.Object, i int) string {
+	if o.Name != "" {
+		return o.Name
 	}
 	return fmt.Sprintf("object-%d", i)
 }

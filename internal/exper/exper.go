@@ -1,5 +1,5 @@
-// Package exper implements the evaluation suite E1–E12 described in
-// DESIGN.md. The paper itself is purely theoretical (no tables or figures),
+// Package exper implements the evaluation suite E1–E18.
+// The paper itself is purely theoretical (no tables or figures),
 // so each experiment here is the synthetic equivalent: it measures a stated
 // theorem, lemma, or claim — approximation factors against exact optima,
 // runtime scaling against the proven complexity, and the qualitative
@@ -176,5 +176,6 @@ func All(cfg Config) []Table {
 		E15Capacity(cfg),
 		E16Sizes(cfg),
 		E17Latency(cfg),
+		E18AdaptiveStreaming(cfg),
 	}
 }

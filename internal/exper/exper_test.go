@@ -9,8 +9,8 @@ import (
 
 func TestAllExperimentsRunQuick(t *testing.T) {
 	tables := All(Config{Quick: true})
-	if len(tables) != 18 {
-		t.Fatalf("got %d tables, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("got %d tables, want 19", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {
@@ -130,6 +130,34 @@ func TestE4CopiesMonotone(t *testing.T) {
 			t.Fatalf("copies increased with storage fee: %v", tb.Rows)
 		}
 		prev = c
+	}
+}
+
+// TestE18AdaptiveBetweenStaticAndOnline is the ISSUE's acceptance
+// assertion: on the drifting-demand traces, the streaming adaptive
+// strategy's total cost must land between the clairvoyant static
+// algorithm's and the counter-online strategy's — it pays estimation lag
+// and migration fees (so it cannot beat clairvoyance here) but recovers
+// enough frequency knowledge to beat counting. Asserted on the trial
+// means (individual drifts can favour any strategy; the means are what
+// the experiment claims).
+func TestE18AdaptiveBetweenStaticAndOnline(t *testing.T) {
+	tb := E18AdaptiveStreaming(Config{})
+	if len(tb.Rows) == 0 {
+		t.Fatal("E18 produced no rows")
+	}
+	var s, a, o float64
+	for _, row := range tb.Rows {
+		for col, dst := range map[int]*float64{1: &s, 2: &a, 3: &o} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("unparsable cell %q: %v", row[col], err)
+			}
+			*dst += v
+		}
+	}
+	if !(s < a && a < o) {
+		t.Fatalf("mean totals not ordered static < adaptive < online: %.1f / %.1f / %.1f", s, a, o)
 	}
 }
 

@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"math/rand"
+
+	"netplace/internal/core"
+	"netplace/internal/gen"
+	"netplace/internal/stream"
+	"netplace/internal/workload"
+)
+
+// E18AdaptiveStreaming compares the three strategy classes on
+// drifting-demand traces: the clairvoyant static algorithm (placed once
+// from the true average tables), the counter-based online strategy, and
+// the streaming adaptive engine (windowed estimates, epoch re-solve
+// through the incremental demand-patch path, hysteresis). All three are
+// priced with identical pro-rata accounting on the same trace
+// (stream.Compare), so the ratios are directly comparable: the adaptive
+// engine should land between clairvoyance and counting — it pays an
+// estimation lag and migration fees the static solver never sees, but
+// recovers most of the frequency knowledge the online strategy lacks.
+// (Extension experiment: the paper treats only the static problem.)
+func E18AdaptiveStreaming(cfg Config) Table {
+	t := Table{
+		ID:     "E18",
+		Title:  "streaming adaptive engine vs static (clairvoyant) and online on drifting demand",
+		Header: []string{"trial", "static", "adaptive", "online", "adaptive/static", "online/static", "moves"},
+		Notes: []string{
+			"two-phase drift: hotspot demand migrates between disjoint node groups mid-trace",
+			"adaptive: 50-event epochs, 4-epoch sliding window, default hysteresis (payback 2)",
+			"identical pro-rata accounting for all three (stream.Compare); migration fees included",
+			"individual drifts can favour any strategy (a tracker may even beat the clairvoyant",
+			"average); the claim — static < adaptive < online — holds on the trial means",
+		},
+	}
+	trials := cfg.trials(5, 2)
+	events := 600
+	streamCfg := stream.Config{Epoch: 50, Window: 4}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(4242 + trial)))
+		g := gen.Clustered(gen.ClusteredParams{
+			Clusters: 4, ClusterSize: 5, IntraWeight: 0.3, InterWeight: 3, Backbone: 0.3,
+		}, rng)
+		n := g.N()
+		storage := make([]float64, n)
+		for v := range storage {
+			storage[v] = 2 + rng.Float64()*2
+		}
+		avg, seq := stream.Drift(n, 2, events, rng, func(phase int) []core.Object {
+			r2 := rand.New(rand.NewSource(int64(1000 + 10*trial + phase)))
+			return workload.Generate(n, workload.Spec{
+				Objects: 2, MeanRate: 3, WriteFraction: 0.15, ZipfS: 0.8,
+				Hotspot: 0.7, HotspotNodes: 5,
+			}, r2)
+		})
+		if len(seq) == 0 {
+			continue
+		}
+		in := core.MustInstance(g, storage, avg)
+		cmp := stream.Compare(in, seq, streamCfg)
+		s, a, o := cmp.Static.Total(), cmp.Adaptive.Total(), cmp.Online.Total()
+		if s <= 0 {
+			continue
+		}
+		t.AddRow(d(trial), f1(s), f1(a), f1(o), f3(a/s), f3(o/s), d(cmp.Adaptive.Moves))
+	}
+	return t
+}

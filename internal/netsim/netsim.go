@@ -18,6 +18,7 @@ import (
 
 	"netplace/internal/core"
 	"netplace/internal/metric"
+	"netplace/internal/workload"
 )
 
 // Stats aggregates a simulation run.
@@ -250,6 +251,32 @@ func (s *Simulator) Run() Stats {
 			for k := int64(0); k < obj.Writes[v]; k++ {
 				s.injectWrite(oi, v)
 			}
+		}
+	}
+	for s.q.Len() > 0 {
+		e := heap.Pop(&s.q).(event)
+		if e.t > s.st.FinalTime {
+			s.st.FinalTime = e.t
+		}
+		s.dispatch(e)
+	}
+	return s.st
+}
+
+// RunSequence injects an explicit request sequence (instead of the
+// instance's frequency tables) against the fixed placement and processes
+// events until the network drains — the adapter that lets the
+// message-level simulator meter one epoch of a trace, so the analytic
+// per-epoch bills of the streaming harness can be cross-checked hop by
+// hop. Storage is booked as in Run: the full fee of the fixed placement,
+// matching the static strategy's accounting. Call on a fresh Simulator;
+// metered costs accumulate across calls.
+func (s *Simulator) RunSequence(seq []workload.Request) Stats {
+	for _, r := range seq {
+		if r.Write {
+			s.injectWrite(r.Obj, r.V)
+		} else {
+			s.injectRead(r.Obj, r.V)
 		}
 	}
 	for s.q.Len() > 0 {

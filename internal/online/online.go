@@ -51,17 +51,40 @@ func (s Stats) Total() float64 { return s.Transmission + s.Storage }
 
 // state tracks one object's copy set.
 type state struct {
-	has       []bool
-	count     int
-	gain      []float64 // accumulated read-distance savings per node
-	idle      []bool    // replica saw no read since the last write
-	heldSteps []float64 // per node, number of steps a copy was held
+	has   []bool
+	count int
+	gain  []float64 // accumulated read-distance savings per node
+	idle  []bool    // replica saw no read since the last write
+}
+
+// Checkpoint is a cumulative snapshot of an online run after Events
+// events: the transmission paid so far, the storage accrual so far
+// expressed as fee × event-steps (divide by the final trace length for
+// the pro-rata rent), and the adaptation counters. Consecutive
+// checkpoints diff into per-epoch costs — the adapter that lets the
+// online strategy run under the same epoch-sliced harness as the static
+// and streaming-adaptive strategies (stream.Compare, cmd/netreplay).
+type Checkpoint struct {
+	Events          int
+	Transmission    float64
+	StorageFeeSteps float64
+	Replications    int
+	Drops           int
+	Copies          int // live replicas across objects at the checkpoint
 }
 
 // Run replays the request sequence against the instance's network with the
 // counter-based dynamic strategy, starting each object at its single best
 // node (the information-free starting point: first requester).
 func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
+	st, _ := RunCheckpoints(in, seq, cfg, 0)
+	return st
+}
+
+// RunCheckpoints is Run additionally snapshotting cumulative costs every
+// `every` events (and after the final partial stretch); every <= 0
+// disables checkpoints. The returned Stats are identical to Run's.
+func RunCheckpoints(in *core.Instance, seq []workload.Request, cfg Config, every int) (Stats, []Checkpoint) {
 	if cfg.ReplicateFactor <= 0 {
 		cfg.ReplicateFactor = 2
 	}
@@ -70,34 +93,52 @@ func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
 	states := make([]*state, len(in.Objects))
 
 	var st Stats
+	// feePerStep is the storage fee all live replicas accrue per
+	// event-step (Σ size·cs over held copies, across objects), maintained
+	// at seeding, replication and invalidation; feeSteps accumulates it
+	// per trace event, so a copy held throughout pays exactly the static
+	// fee after the final /len(seq) normalisation.
+	var feePerStep, feeSteps float64
 	ensure := func(oi, v int) *state {
 		s := states[oi]
 		if s == nil {
 			s = &state{
-				has:       make([]bool, n),
-				gain:      make([]float64, n),
-				idle:      make([]bool, n),
-				heldSteps: make([]float64, n),
+				has:  make([]bool, n),
+				gain: make([]float64, n),
+				idle: make([]bool, n),
 			}
 			// First touch: the object materialises at its first requester
 			// (no knowledge of the future).
 			s.has[v] = true
 			s.count = 1
 			states[oi] = s
+			feePerStep += in.Objects[oi].Scale() * in.Storage[v]
 		}
 		return s
 	}
 
-	steps := float64(len(seq))
-	for _, r := range seq {
-		s := ensure(r.Obj, r.V)
-		size := in.Objects[r.Obj].Scale()
-		// account holding time for every live replica
-		for v := 0; v < n; v++ {
-			if s.has[v] {
-				s.heldSteps[v]++
+	var cps []Checkpoint
+	snapshot := func(events int) {
+		cp := Checkpoint{
+			Events: events, Transmission: st.Transmission,
+			StorageFeeSteps: feeSteps,
+			Replications:    st.Replications, Drops: st.Drops,
+		}
+		for _, s := range states {
+			if s != nil {
+				cp.Copies += s.count
 			}
 		}
+		cps = append(cps, cp)
+	}
+
+	steps := float64(len(seq))
+	for i, r := range seq {
+		s := ensure(r.Obj, r.V)
+		size := in.Objects[r.Obj].Scale()
+		// storage rent accrues per event-step for every live replica of
+		// every object (normalised by the trace length at the end)
+		feeSteps += feePerStep
 		// nearest copy (point queries hit the cached rows of the live
 		// copy set on a lazy backend)
 		best, bestD := -1, math.Inf(1)
@@ -122,6 +163,7 @@ func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
 						s.has[v] = false
 						s.count--
 						st.Drops++
+						feePerStep -= size * in.Storage[v]
 					}
 				}
 			}
@@ -140,27 +182,33 @@ func Run(in *core.Instance, seq []workload.Request, cfg Config) Stats {
 					s.gain[r.V] = 0
 					s.idle[r.V] = false
 					st.Replications++
+					feePerStep += size * in.Storage[r.V]
 				}
 			}
 		}
+		if every > 0 && (i+1)%every == 0 {
+			snapshot(i + 1)
+		}
+	}
+	if every > 0 && len(seq)%every != 0 {
+		snapshot(len(seq))
 	}
 
 	// pro-rata storage rent + final copy sets
-	for oi, s := range states {
+	if steps > 0 {
+		st.Storage = feeSteps / steps
+	}
+	for _, s := range states {
 		if s == nil {
 			continue
 		}
-		size := in.Objects[oi].Scale()
 		for v := 0; v < n; v++ {
-			if s.heldSteps[v] > 0 && steps > 0 {
-				st.Storage += size * in.Storage[v] * s.heldSteps[v] / steps
-			}
 			if s.has[v] {
 				st.FinalCopies = append(st.FinalCopies, v)
 			}
 		}
 	}
-	return st
+	return st, cps
 }
 
 func copySet(s *state) []int {

@@ -134,6 +134,53 @@ func (c *Client) Simulate(ctx context.Context, id string, p encode.PlacementJSON
 	return out, err
 }
 
+// OpenSession opens a streaming adaptive placement session against a
+// resident instance; stream events with SessionEvents and read the
+// adapting placement with SessionPlacement.
+func (c *Client) OpenSession(ctx context.Context, instanceID string, cfg SessionConfig) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions",
+		SessionRequest{InstanceID: instanceID, Config: cfg}, &out)
+	return out, err
+}
+
+// Sessions lists the server's open streaming sessions.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// SessionEvents streams a batch of request events into a session and
+// returns the per-epoch reports the batch triggered.
+func (c *Client) SessionEvents(ctx context.Context, id string, events []SessionEvent) (SessionEventsResponse, error) {
+	var out SessionEventsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/events",
+		SessionEventsRequest{Events: events}, &out)
+	return out, err
+}
+
+// SessionFlush closes a session's open partial epoch, so a finished
+// trace is fully accounted before reading the final placement.
+func (c *Client) SessionFlush(ctx context.Context, id string) (SessionEventsResponse, error) {
+	var out SessionEventsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/flush", nil, &out)
+	return out, err
+}
+
+// SessionPlacement returns a session's current adaptive placement and
+// its cost accounting so far.
+func (c *Client) SessionPlacement(ctx context.Context, id string) (SessionPlacementResponse, error) {
+	var out SessionPlacementResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/placement", nil, &out)
+	return out, err
+}
+
+// CloseSession drops a session.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
 // Stats snapshots the server's /statz counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats

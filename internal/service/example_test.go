@@ -76,3 +76,82 @@ func Example() {
 	// priced 32.0, simulated 32.0
 	// repeat cached: true (hit rate 0.50)
 }
+
+// ExampleSession shows the client side of a streaming adaptive session:
+// open a session over a resident instance, stream request events as they
+// happen, and watch the server re-place copies at epoch boundaries —
+// first toward one site's read traffic, then, as demand drifts, toward
+// the other.
+func ExampleSession() {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := service.NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	// The same two-site network as the package example; the frequency
+	// tables are irrelevant to a session (it learns demand from events).
+	g := graph.New(6)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(0, 2, 0.5)
+	g.AddEdge(0, 3, 8) // WAN
+	g.AddEdge(3, 4, 0.5)
+	g.AddEdge(3, 5, 0.5)
+	in, err := core.NewInstance(g, []float64{2, 2, 2, 2, 2, 2}, []core.Object{{
+		Name:   "doc",
+		Reads:  []int64{1, 1, 1, 1, 1, 1},
+		Writes: []int64{0, 0, 0, 0, 0, 0},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	up, err := c.Upload(ctx, "two-sites", in)
+	if err != nil {
+		panic(err)
+	}
+
+	// One epoch per 16 events; a one-epoch window keeps the example's
+	// estimates easy to follow.
+	sess, err := c.OpenSession(ctx, up.ID, service.SessionConfig{Epoch: 16, Window: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// Site A (nodes 0–2) reads the document: the epoch close places the
+	// copy on site A.
+	_, err = c.SessionEvents(ctx, sess.SessionID, []service.SessionEvent{
+		{Obj: "doc", Node: 1, Count: 8},
+		{Obj: "doc", Node: 2, Count: 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pl, err := c.SessionPlacement(ctx, sess.SessionID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after site-A epoch:", pl.Placement.Copies["doc"])
+
+	// Demand drifts to site B (nodes 3–5): the next epoch moves it.
+	_, err = c.SessionEvents(ctx, sess.SessionID, []service.SessionEvent{
+		{Obj: "doc", Node: 4, Count: 8},
+		{Obj: "doc", Node: 5, Count: 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pl, err = c.SessionPlacement(ctx, sess.SessionID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after site-B epoch:", pl.Placement.Copies["doc"])
+	fmt.Println("epochs:", pl.Stats.Epochs, "moves:", pl.Stats.Moves)
+
+	if err := c.CloseSession(ctx, sess.SessionID); err != nil {
+		panic(err)
+	}
+	// Output:
+	// after site-A epoch: [1 2]
+	// after site-B epoch: [4 5]
+	// epochs: 2 moves: 2
+}

@@ -35,11 +35,19 @@ var ErrInternal = errors.New("service: internal error")
 //	                                  → per-variant/per-scenario results
 //	POST   /instances/{id}/cost       {placement} → cost breakdown
 //	POST   /instances/{id}/simulate   {placement} → metered message-level bill
+//	POST   /v1/sessions               open a streaming session {instance_id, config?}
+//	GET    /v1/sessions               list open sessions
+//	GET    /v1/sessions/{id}          one session record
+//	DELETE /v1/sessions/{id}          close a session
+//	POST   /v1/sessions/{id}/events   stream request events into a session
+//	POST   /v1/sessions/{id}/flush    close the open partial epoch
+//	GET    /v1/sessions/{id}/placement  current adaptive placement + stats
 //	GET    /healthz                   liveness probe
 //	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …)
 type Server struct {
 	cfg      Config
 	engine   *Engine
+	sessions sessions
 	counters counters
 	start    time.Time
 	mux      *http.ServeMux
@@ -60,6 +68,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /instances/{id}/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("POST /instances/{id}/cost", s.handleCost)
 	s.mux.HandleFunc("POST /instances/{id}/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleSessionFlush)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/placement", s.handleSessionPlacement)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
 	return s
@@ -106,6 +121,12 @@ func (s *Server) Stats() Stats {
 		IncrementalHitRate: incrRate,
 		ObjectsResolved:    s.counters.objectsResolved.Load(),
 		ObjectsSpliced:     s.counters.objectsSpliced.Load(),
+		SessionsOpen:       s.sessions.len(),
+		SessionsOpened:     s.counters.sessionsOpened.Load(),
+		SessionEvents:      s.counters.sessionEvents.Load(),
+		SessionEpochs:      s.counters.sessionEpochs.Load(),
+		SessionResolves:    s.counters.sessionResolves.Load(),
+		SessionMoves:       s.counters.sessionMoves.Load(),
 	}
 }
 

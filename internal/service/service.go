@@ -60,6 +60,10 @@ type Config struct {
 	// path. Off by default; an operational escape hatch, and the lever the
 	// benchmark harness uses to measure the incremental path's gain.
 	DisableIncremental bool
+	// MaxSessions caps concurrently open streaming sessions (each pins
+	// its instance and holds estimator state). 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
 }
 
 // Defaults applied by New for zero Config fields.
@@ -69,6 +73,7 @@ const (
 	DefaultSolveTimeout     = 5 * time.Minute
 	DefaultMaxUploadBytes   = 256 << 20
 	DefaultMaxBatchVariants = 64
+	DefaultMaxSessions      = 64
 )
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -91,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchVariants <= 0 {
 		c.MaxBatchVariants = DefaultMaxBatchVariants
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
 	return c
 }
 
@@ -111,6 +119,12 @@ type counters struct {
 	fullScenarios   atomic.Int64 // scenarios that fell back to a full solve
 	objectsResolved atomic.Int64 // objects re-solved by incremental scenarios
 	objectsSpliced  atomic.Int64 // objects spliced from cached base solves
+
+	sessionsOpened  atomic.Int64 // streaming sessions opened (monotonic)
+	sessionEvents   atomic.Int64 // events ingested across sessions
+	sessionEpochs   atomic.Int64 // epochs closed across sessions
+	sessionResolves atomic.Int64 // objects re-solved at session epoch closes
+	sessionMoves    atomic.Int64 // per-object moves adopted by sessions
 }
 
 // Stats is a point-in-time snapshot of the service, rendered by /statz.
@@ -159,4 +173,15 @@ type Stats struct {
 	// work the incremental path did versus avoided.
 	ObjectsResolved int64 `json:"objects_resolved"`
 	ObjectsSpliced  int64 `json:"objects_spliced"`
+	// SessionsOpen is the number of live streaming sessions;
+	// SessionsOpened counts every session ever opened.
+	SessionsOpen   int   `json:"sessions_open"`
+	SessionsOpened int64 `json:"sessions_opened"`
+	// SessionEvents / SessionEpochs / SessionResolves / SessionMoves
+	// aggregate the streaming sessions' ingest volume, closed epochs,
+	// per-epoch object re-solves, and adopted placement moves.
+	SessionEvents   int64 `json:"session_events"`
+	SessionEpochs   int64 `json:"session_epochs"`
+	SessionResolves int64 `json:"session_resolves"`
+	SessionMoves    int64 `json:"session_moves"`
 }

@@ -1,0 +1,468 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/stream"
+	"netplace/internal/workload"
+)
+
+// SessionConfig is the wire form of a streaming session's tuning knobs,
+// lowered onto stream.Config (zero fields select the stream defaults).
+type SessionConfig struct {
+	// Epoch is the number of events per re-placement epoch.
+	Epoch int `json:"epoch,omitempty"`
+	// Window is the sliding-window width in epochs (ignored when Alpha
+	// is set).
+	Window int `json:"window,omitempty"`
+	// Alpha switches the estimator to an EWMA with this per-epoch weight.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Horizon is the event count one storage fee amortises over when
+	// estimates are quantised for the solver.
+	Horizon int `json:"horizon,omitempty"`
+	// Payback is the number of epochs a move's estimated saving must pay
+	// its migration cost back within; negative takes any improving move.
+	Payback float64 `json:"payback,omitempty"`
+	// MigrationFactor scales the migration price in the hysteresis
+	// decision; negative disables hysteresis.
+	MigrationFactor float64 `json:"migration_factor,omitempty"`
+	// Options configures the per-epoch re-solve (approx algorithm only;
+	// the incremental path re-solves object by object).
+	Options SolveOptions `json:"options,omitzero"`
+}
+
+// streamConfig lowers the wire config to a stream.Config.
+func (c SessionConfig) streamConfig(runWorkers int) (stream.Config, error) {
+	opts, err := c.Options.normalize()
+	if err != nil {
+		return stream.Config{}, err
+	}
+	if opts.Algo != "approx" {
+		return stream.Config{}, fmt.Errorf("service: sessions re-solve with algo=approx only (got %q)", opts.Algo)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return stream.Config{}, fmt.Errorf("service: session alpha %v outside [0, 1]", c.Alpha)
+	}
+	return stream.Config{
+		Epoch:           c.Epoch,
+		Window:          c.Window,
+		Alpha:           c.Alpha,
+		Horizon:         c.Horizon,
+		Payback:         c.Payback,
+		MigrationFactor: c.MigrationFactor,
+		Solve:           opts.coreOptions(runWorkers),
+	}, nil
+}
+
+// Session is one live streaming re-placement session over a resident
+// instance: it owns a stream.Engine and serialises access to it. The
+// session pins its instance, so registry eviction does not invalidate
+// it; abandoned sessions hold that pin until an explicit DELETE, which
+// is what MaxSessions bounds.
+type Session struct {
+	// ID identifies the session in URLs.
+	ID string
+	// InstanceID is the registry id the session was opened against.
+	InstanceID string
+
+	mu       sync.Mutex
+	engine   *stream.Engine
+	instance *core.Instance
+	objIndex map[string]int  // wire object name → index, immutable
+	reqCtx   context.Context // current request's context; only touched under mu
+}
+
+// SessionRequest is the body of POST /v1/sessions.
+type SessionRequest struct {
+	// InstanceID names the resident instance to stream against.
+	InstanceID string `json:"instance_id"`
+	// Config tunes the session; zero fields select defaults.
+	Config SessionConfig `json:"config,omitzero"`
+}
+
+// SessionInfo is the wire form of a session record.
+type SessionInfo struct {
+	// SessionID addresses the session under /v1/sessions/{id}.
+	SessionID string `json:"session_id"`
+	// InstanceID is the instance the session streams against.
+	InstanceID string `json:"instance_id"`
+	// Epoch/Window/Alpha/Horizon/Payback/MigrationFactor echo the
+	// resolved engine configuration.
+	Epoch           int     `json:"epoch"`
+	Window          int     `json:"window"`
+	Alpha           float64 `json:"alpha,omitempty"`
+	Horizon         int     `json:"horizon"`
+	Payback         float64 `json:"payback"`
+	MigrationFactor float64 `json:"migration_factor"`
+	// Stats snapshots the session's accounting so far.
+	Stats SessionStats `json:"stats"`
+}
+
+// SessionStats is the wire form of stream.Stats: the session's exact
+// cost accounting (pro-rata storage over observed events) plus the
+// adaptation counters.
+type SessionStats struct {
+	Events       int     `json:"events"`
+	Epochs       int     `json:"epochs"`
+	Resolves     int     `json:"resolves"`
+	Moves        int     `json:"moves"`
+	Rejected     int     `json:"rejected"`
+	Transmission float64 `json:"transmission"`
+	Storage      float64 `json:"storage"`
+	Migration    float64 `json:"migration"`
+	Total        float64 `json:"total"`
+}
+
+func sessionStats(s stream.Stats) SessionStats {
+	return SessionStats{
+		Events: s.Events, Epochs: s.Epochs, Resolves: s.Resolves,
+		Moves: s.Moves, Rejected: s.Rejected,
+		Transmission: s.Transmission, Storage: s.Storage,
+		Migration: s.Migration, Total: s.Total(),
+	}
+}
+
+// SessionEvent is one streamed request event, addressed like a trace
+// line: object by wire name, issuing node, read or write. Count > 1
+// expands to that many identical events.
+type SessionEvent struct {
+	Obj   string `json:"obj"`
+	Node  int    `json:"node"`
+	Write bool   `json:"write,omitempty"`
+	Count int    `json:"count,omitempty"`
+}
+
+// SessionEventsRequest is the body of POST /v1/sessions/{id}/events.
+type SessionEventsRequest struct {
+	Events []SessionEvent `json:"events"`
+}
+
+// SessionEpochJSON is the wire form of one closed epoch's report.
+type SessionEpochJSON struct {
+	Epoch        int     `json:"epoch"`
+	Events       int     `json:"events"`
+	Resolved     int     `json:"resolved"`
+	Moved        int     `json:"moved"`
+	Rejected     int     `json:"rejected"`
+	Transmission float64 `json:"transmission"`
+	Migration    float64 `json:"migration"`
+}
+
+// SessionEventsResponse reports what a batch of events caused: how many
+// events were ingested and which epochs closed while ingesting them.
+type SessionEventsResponse struct {
+	Accepted int                `json:"accepted"`
+	Epochs   []SessionEpochJSON `json:"epochs,omitempty"`
+	Stats    SessionStats       `json:"stats"`
+}
+
+// SessionPlacementResponse is the body of GET /v1/sessions/{id}/placement.
+type SessionPlacementResponse struct {
+	SessionID string `json:"session_id"`
+	// Placement is the current copy sets in the shared wire format.
+	// Objects not yet placed (no event seen, no epoch closed) are absent.
+	Placement encode.PlacementJSON `json:"placement"`
+	// Breakdown prices the current placement against the instance's own
+	// frequency tables (the service's static model), when every object
+	// is placed; omitted before the first full placement exists.
+	Breakdown *BreakdownJSON `json:"breakdown,omitempty"`
+	Stats     SessionStats   `json:"stats"`
+}
+
+// sessions is the server's session table.
+type sessions struct {
+	mu   sync.Mutex
+	m    map[string]*Session
+	next int
+}
+
+// add registers a session under a fresh id; cap is the configured
+// session limit.
+func (t *sessions) add(s *Session, cap int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*Session)
+	}
+	if len(t.m) >= cap {
+		return fmt.Errorf("service: session limit of %d reached", cap)
+	}
+	t.next++
+	s.ID = fmt.Sprintf("s-%06x", t.next)
+	t.m[s.ID] = s
+	return nil
+}
+
+func (t *sessions) get(id string) (*Session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	return s, ok
+}
+
+func (t *sessions) delete(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		return false
+	}
+	delete(t.m, id)
+	return true
+}
+
+func (t *sessions) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func (t *sessions) list() []*Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Session, 0, len(t.m))
+	for _, s := range t.m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// info snapshots a session's wire record under its lock.
+func (s *Session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := s.engine.Config()
+	return SessionInfo{
+		SessionID: s.ID, InstanceID: s.InstanceID,
+		Epoch: cfg.Epoch, Window: cfg.Window, Alpha: cfg.Alpha,
+		Horizon: cfg.Horizon, Payback: cfg.Payback, MigrationFactor: cfg.MigrationFactor,
+		Stats: sessionStats(s.engine.Stats()),
+	}
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	in, info, ok := s.engine.registry.Get(req.InstanceID)
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	cfg, err := req.Config.streamConfig(s.engine.runWorkers())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sess := &Session{
+		InstanceID: info.ID,
+		instance:   in,
+		objIndex:   stream.ObjectIndex(in),
+	}
+	// Epoch re-solves run under the engine's worker-pool semaphore, so
+	// sessions compete with ordinary solves for the configured slots
+	// instead of bypassing them. The wait is cancellable by the current
+	// request's context: a client gone mid-epoch skips the re-placement
+	// (the engine retries at the next epoch close) instead of holding the
+	// session lock until a slot frees up.
+	cfg.SolveGate = func(solve func()) {
+		ctx := sess.reqCtx // gate runs under sess.mu, where reqCtx is set
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		select {
+		case s.engine.sem <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		s.counters.inflight.Add(1)
+		defer func() {
+			s.counters.inflight.Add(-1)
+			<-s.engine.sem
+		}()
+		solve()
+	}
+	sess.engine = stream.New(in, cfg)
+	if err := s.sessions.add(sess, s.cfg.MaxSessions); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.counters.sessionsOpened.Add(1)
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	out := []SessionInfo{}
+	for _, sess := range s.sessions.list() {
+		out = append(out, sess.info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.delete(r.PathValue("id")) {
+		writeError(w, ErrNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxSessionEventBatch bounds one events call after count expansion, so a
+// single request cannot hold a session's lock for unbounded work.
+const maxSessionEventBatch = 1 << 20
+
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	var req SessionEventsRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, fmt.Errorf("service: events batch is empty"))
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.reqCtx = r.Context()
+	defer func() { sess.reqCtx = nil }()
+	// Validate the whole batch before the first Observe: ingestion must
+	// be all-or-nothing, so a failed request never leaves the session's
+	// estimates skewed by a half-applied prefix that a retry would then
+	// double-count.
+	idx := sess.objIndex
+	objOf := make([]int, len(req.Events))
+	total := 0
+	for i, ev := range req.Events {
+		oi, ok := idx[ev.Obj]
+		if !ok {
+			writeError(w, fmt.Errorf("service: events[%d]: unknown object %q", i, ev.Obj))
+			return
+		}
+		if ev.Node < 0 || ev.Node >= sess.instance.N() {
+			writeError(w, fmt.Errorf("service: events[%d]: node %d out of range [0,%d)", i, ev.Node, sess.instance.N()))
+			return
+		}
+		objOf[i] = oi
+		count := ev.Count
+		if count <= 0 {
+			count = 1
+		}
+		// Per-event cap before summing: a huge count must not overflow
+		// the running total past the batch check.
+		if count > maxSessionEventBatch {
+			writeError(w, fmt.Errorf("service: events[%d]: count %d exceeds the %d-event batch cap", i, count, maxSessionEventBatch))
+			return
+		}
+		if total += count; total > maxSessionEventBatch {
+			writeError(w, fmt.Errorf("service: events batch expands past %d events", maxSessionEventBatch))
+			return
+		}
+	}
+	resp := SessionEventsResponse{}
+	for i, ev := range req.Events {
+		count := ev.Count
+		if count <= 0 {
+			count = 1
+		}
+		for k := 0; k < count; k++ {
+			rep, err := sess.engine.Observe(workload.Request{Obj: objOf[i], V: ev.Node, Write: ev.Write})
+			if err != nil {
+				// Unreachable after validation above; surface as internal.
+				writeError(w, fmt.Errorf("%w: events[%d]: %v", ErrInternal, i, err))
+				return
+			}
+			resp.Accepted++
+			s.counters.sessionEvents.Add(1)
+			if rep != nil {
+				resp.Epochs = append(resp.Epochs, s.recordEpoch(rep))
+			}
+		}
+	}
+	resp.Stats = sessionStats(sess.engine.Stats())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordEpoch counts a closed epoch into the service counters and
+// converts the report to wire form.
+func (s *Server) recordEpoch(rep *stream.EpochReport) SessionEpochJSON {
+	s.counters.sessionEpochs.Add(1)
+	s.counters.sessionMoves.Add(int64(rep.Moved))
+	s.counters.sessionResolves.Add(int64(rep.Resolved))
+	return SessionEpochJSON{
+		Epoch: rep.Epoch, Events: rep.Events,
+		Resolved: rep.Resolved, Moved: rep.Moved, Rejected: rep.Rejected,
+		Transmission: rep.Transmission, Migration: rep.Migration,
+	}
+}
+
+// handleSessionFlush closes the session's open partial epoch (estimates
+// refresh, re-placement runs), so a finished trace is fully accounted —
+// the server-side counterpart of stream.Engine.Flush, used by
+// cmd/netreplay's server mode to match in-process accounting.
+func (s *Server) handleSessionFlush(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.reqCtx = r.Context()
+	defer func() { sess.reqCtx = nil }()
+	resp := SessionEventsResponse{}
+	if rep := sess.engine.Flush(); rep != nil {
+		resp.Epochs = append(resp.Epochs, s.recordEpoch(rep))
+	}
+	resp.Stats = sessionStats(sess.engine.Stats())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionPlacement(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	p := sess.engine.Placement()
+	resp := SessionPlacementResponse{
+		SessionID: sess.ID,
+		Placement: encode.PlacementJSON{Copies: map[string][]int{}},
+		Stats:     sessionStats(sess.engine.Stats()),
+	}
+	complete := true
+	for i, copies := range p.Copies {
+		if len(copies) == 0 {
+			complete = false
+			continue
+		}
+		resp.Placement.Copies[wireObjectName(&sess.instance.Objects[i], i)] = copies
+	}
+	if complete && len(p.Copies) > 0 {
+		b := breakdownJSON(sess.instance.Cost(p))
+		resp.Breakdown = &b
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"netplace/internal/core"
@@ -154,7 +155,7 @@ func applyScenario(in *core.Instance, sc Scenario) (patched []core.Object, chang
 				o.Size = *p.Size
 			}
 			patched[i] = o
-			if !equalInt64s(o.Reads, in.Objects[i].Reads) || !equalInt64s(o.Writes, in.Objects[i].Writes) {
+			if !slices.Equal(o.Reads, in.Objects[i].Reads) || !slices.Equal(o.Writes, in.Objects[i].Writes) {
 				isChanged[i] = true
 			}
 		}
@@ -164,45 +165,16 @@ func applyScenario(in *core.Instance, sc Scenario) (patched []core.Object, chang
 			}
 		}
 	}
-	if sc.Storage != nil && !equalFloat64s(sc.Storage, in.Storage) {
+	if sc.Storage != nil && !slices.Equal(sc.Storage, in.Storage) {
 		storage = sc.Storage
 	}
 	return patched, changed, storage, nil
 }
 
 // wireObjectName is the wire name of an object: its Name, or
-// object-<index> for unnamed objects (matching the encode package).
+// object-<index> for unnamed objects (the encode package's rule).
 func wireObjectName(o *core.Object, i int) string {
-	if o.Name != "" {
-		return o.Name
-	}
-	return fmt.Sprintf("object-%d", i)
-}
-
-// equalInt64s reports elementwise equality.
-func equalInt64s(a, b []int64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// equalFloat64s reports elementwise equality (exact; NaN never equal).
-func equalFloat64s(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return encode.ObjectName(o, i)
 }
 
 // baseFor returns the spliceable base record for (instance, options),

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/workload"
+)
+
+// EventJSON is one trace line in the JSONL wire format: object (by wire
+// name — Object.Name, or object-<index> for unnamed objects), issuing
+// node, and whether the request is a write. Count > 1 expands to that
+// many identical consecutive events (Count 0 means 1).
+type EventJSON struct {
+	Obj   string `json:"obj"`
+	Node  int    `json:"node"`
+	Write bool   `json:"write,omitempty"`
+	Count int    `json:"count,omitempty"`
+}
+
+// ObjectIndex maps an instance's wire object names (encode.ObjectName)
+// to object indices — the resolution step shared by trace parsing and
+// the service's session event ingestion.
+func ObjectIndex(in *core.Instance) map[string]int {
+	idx := make(map[string]int, len(in.Objects))
+	for i := range in.Objects {
+		idx[encode.ObjectName(&in.Objects[i], i)] = i
+	}
+	return idx
+}
+
+// ReadTrace parses a JSONL request trace against an instance, resolving
+// object names and validating node ids. Blank lines and lines starting
+// with '#' are skipped, so traces can carry comments.
+func ReadTrace(r io.Reader, in *core.Instance) ([]workload.Request, error) {
+	idx := ObjectIndex(in)
+	var seq []workload.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ev EventJSON
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %w", line, err)
+		}
+		oi, ok := idx[ev.Obj]
+		if !ok {
+			return nil, fmt.Errorf("stream: trace line %d: unknown object %q", line, ev.Obj)
+		}
+		if ev.Node < 0 || ev.Node >= in.N() {
+			return nil, fmt.Errorf("stream: trace line %d: node %d out of range [0,%d)", line, ev.Node, in.N())
+		}
+		count := ev.Count
+		if count <= 0 {
+			count = 1
+		}
+		for k := 0; k < count; k++ {
+			seq = append(seq, workload.Request{Obj: oi, V: ev.Node, Write: ev.Write})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: reading trace: %w", err)
+	}
+	return seq, nil
+}
+
+// WriteTrace serialises a request sequence as JSONL, one event per line,
+// using the instance's wire object names. The inverse of ReadTrace.
+func WriteTrace(w io.Writer, in *core.Instance, seq []workload.Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range seq {
+		if r.Obj < 0 || r.Obj >= len(in.Objects) {
+			return fmt.Errorf("stream: event object %d out of range", r.Obj)
+		}
+		name := encode.ObjectName(&in.Objects[r.Obj], r.Obj)
+		buf, err := json.Marshal(EventJSON{Obj: name, Node: r.V, Write: r.Write})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(buf, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
