@@ -6,16 +6,26 @@
 //
 // Usage:
 //
-//	benchreport [-out report.json] [-baseline BENCH_PR3.json] [-max-regress 8]
+//	benchreport [-out report.json] [-baseline BENCH_PR5.json] [-max-regress 8]
+//	            [-cpu 1,2,4,8]
 //
 // The kernels cover the steady-state hot path of the placement service on
 // a resident 2500-node lazy-oracle instance: full re-solve, cost
 // evaluation, multi-source sweep, cache-hit row fetch, the batched
 // what-if path both incremental and with the incremental path disabled
 // (the from-scratch fallback) — so the report captures exactly the ratio
-// the incremental path buys — and, since PR 4, one full streaming epoch
-// of the adaptive engine (event accounting + estimate roll + incremental
-// re-solve).
+// the incremental path buys — since PR 4, one full streaming epoch of
+// the adaptive engine (event accounting + estimate roll + incremental
+// re-solve), and, since PR 5, `_par` variants of the solve, what-if and
+// stream kernels running with intra-solve parallelism on all cores
+// (core.Options.Parallel / the service parallel option), so serial and
+// sharded pipelines are tracked side by side.
+//
+// With -cpu, the whole kernel set is re-run once per requested
+// GOMAXPROCS value and every entry is emitted as name/cpu=N — the form
+// used to measure how the `_par` kernels scale with cores. Without it,
+// entries carry bare names at the ambient GOMAXPROCS (the form the CI
+// gate compares).
 //
 // With -baseline, the current numbers are compared entry by entry against
 // the committed report: a kernel slower (or allocation-heavier) than
@@ -32,6 +42,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"netplace/internal/benchkit"
@@ -68,19 +81,26 @@ func residentInstance(objects int) *core.Instance {
 var sink float64
 
 // kernels enumerates the measured benchmarks. Each entry builds its own
-// fixture outside the timed loop.
+// fixture outside the timed loop. The _par variants run the same
+// workloads with intra-solve parallelism on all cores; their outputs are
+// byte-identical to the serial kernels', only the schedule differs.
 func kernels() map[string]func(b *testing.B) {
 	lazyOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64}
-	return map[string]func(b *testing.B){
-		"resident_solve_2500_lazy": func(b *testing.B) {
+	parOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64, Parallel: -1}
+	benchSolve := func(opts core.Options) func(b *testing.B) {
+		return func(b *testing.B) {
 			in := residentInstance(8)
-			core.Approximate(in, lazyOpts) // warm oracle and pools
+			core.Approximate(in, opts) // warm oracle and pools
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p := core.Approximate(in, lazyOpts)
+				p := core.Approximate(in, opts)
 				sink += float64(len(p.Copies[0]))
 			}
-		},
+		}
+	}
+	return map[string]func(b *testing.B){
+		"resident_solve_2500_lazy":     benchSolve(lazyOpts),
+		"resident_solve_2500_lazy_par": benchSolve(parOpts),
 		"resident_objectcost_2500_lazy": func(b *testing.B) {
 			in := residentInstance(1)
 			p := core.Approximate(in, lazyOpts)
@@ -119,6 +139,9 @@ func kernels() map[string]func(b *testing.B) {
 		"whatif_incremental_2500": func(b *testing.B) {
 			benchWhatIf(b, service.Config{Workers: 2})
 		},
+		"whatif_incremental_2500_par": func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, Parallel: -1})
+		},
 		"whatif_full_2500": func(b *testing.B) {
 			benchWhatIf(b, service.Config{Workers: 2, DisableIncremental: true})
 		},
@@ -126,25 +149,32 @@ func kernels() map[string]func(b *testing.B) {
 		// instance: 512 Observe calls (accounting against the warm lazy
 		// oracle) plus the epoch close (estimate roll, incremental
 		// re-solve of changed objects, hysteresis).
-		"stream_epoch_2500": func(b *testing.B) {
-			in := residentInstance(8)
-			rng := rand.New(rand.NewSource(7))
-			const epoch = 512
-			seq := workload.Sequence(in.Objects, epoch*64, rng)
-			eng := stream.New(in, stream.Config{Epoch: epoch, Window: 4, Solve: lazyOpts})
-			feed := func(k int) {
-				for i := 0; i < epoch; i++ {
-					if _, err := eng.Observe(seq[(k*epoch+i)%len(seq)]); err != nil {
-						b.Fatal(err)
-					}
+		"stream_epoch_2500":     benchStreamEpoch(lazyOpts),
+		"stream_epoch_2500_par": benchStreamEpoch(parOpts),
+	}
+}
+
+// benchStreamEpoch builds the streaming-epoch kernel over the shared
+// resident fixture with the given per-object solve options.
+func benchStreamEpoch(opts core.Options) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := residentInstance(8)
+		rng := rand.New(rand.NewSource(7))
+		const epoch = 512
+		seq := workload.Sequence(in.Objects, epoch*64, rng)
+		eng := stream.New(in, stream.Config{Epoch: epoch, Window: 4, Solve: opts})
+		feed := func(k int) {
+			for i := 0; i < epoch; i++ {
+				if _, err := eng.Observe(seq[(k*epoch+i)%len(seq)]); err != nil {
+					b.Fatal(err)
 				}
 			}
-			feed(0) // warm: first epoch close adopts the initial placement
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				feed(i + 1)
-			}
-		},
+		}
+		feed(0) // warm: first epoch close adopts the initial placement
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feed(i + 1)
+		}
 	}
 }
 
@@ -181,18 +211,44 @@ func main() {
 	baseline := flag.String("baseline", "", "compare against this committed report; regressions fail the run")
 	maxRegress := flag.Float64("max-regress", 8, "fail when a kernel exceeds this multiple of the baseline")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	cpus := flag.String("cpu", "", "comma-separated GOMAXPROCS values; kernels run once per value as name/cpu=N")
 	flag.Parse()
 
+	cpuList, err := parseCPUList(*cpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(cpuList) > 0 && *baseline != "" {
+		// Per-cpu entries are suffixed name/cpu=N and would never match a
+		// baseline's bare kernel names; fail before the expensive runs.
+		fmt.Fprintln(os.Stderr, "benchreport: -cpu and -baseline are mutually exclusive (per-cpu entries do not match baseline kernel names)")
+		os.Exit(1)
+	}
+
 	rep := reportJSON{Schema: "netplace-bench/v1", Note: *note, Benchmarks: map[string]metricJSON{}}
-	for name, fn := range kernels() {
-		r := testing.Benchmark(fn)
-		rep.Benchmarks[name] = metricJSON{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+	measure := func(suffix string) {
+		for name, fn := range kernels() {
+			r := testing.Benchmark(fn)
+			name += suffix
+			rep.Benchmarks[name] = metricJSON{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			fmt.Fprintf(os.Stderr, "%-38s %14.0f ns/op %10d B/op %8d allocs/op\n",
+				name, rep.Benchmarks[name].NsPerOp, rep.Benchmarks[name].BytesPerOp, rep.Benchmarks[name].AllocsPerOp)
 		}
-		fmt.Fprintf(os.Stderr, "%-32s %14.0f ns/op %10d B/op %8d allocs/op\n",
-			name, rep.Benchmarks[name].NsPerOp, rep.Benchmarks[name].BytesPerOp, rep.Benchmarks[name].AllocsPerOp)
+	}
+	if len(cpuList) == 0 {
+		measure("")
+	} else {
+		prev := runtime.GOMAXPROCS(0)
+		for _, c := range cpuList {
+			runtime.GOMAXPROCS(c)
+			measure(fmt.Sprintf("/cpu=%d", c))
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -217,6 +273,23 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "benchreport: within", *maxRegress, "x of baseline", *baseline)
 	}
+}
+
+// parseCPUList parses the -cpu flag: a comma-separated list of positive
+// GOMAXPROCS values, empty meaning "ambient only".
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -cpu entry %q (want positive integers)", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // compare checks the current report against a committed baseline. Small

@@ -29,12 +29,23 @@ type Options struct {
 	// SkipPhase2 / SkipPhase3 disable the respective phases (ablations E10).
 	SkipPhase2 bool
 	SkipPhase3 bool
-	// Workers bounds the goroutines placing objects concurrently (the
-	// paper's algorithm treats objects independently, so object-level
-	// parallelism is exact). 0 and negative values select GOMAXPROCS;
-	// 1 runs sequentially. The result is bit-identical to the sequential
-	// run either way.
+	// Workers bounds the goroutines placing whole objects concurrently —
+	// object-level parallelism, the fan-out Approximate uses when an
+	// instance has several (representative) objects. It does not speed up
+	// a single object's solve; that is what Parallel is for. 0 and
+	// negative values select GOMAXPROCS; 1 runs sequentially. The result
+	// is bit-identical to the sequential run either way.
 	Workers int
+	// Parallel bounds the goroutines cooperating on a single object's
+	// solve — intra-solve parallelism. The per-node radius scans (storage
+	// radii, Mettu–Plaxton payment balls) and the phase-3 write-radius
+	// candidate scans shard across this many workers, each with its own
+	// pooled scan workspace; the merged output is byte-identical to the
+	// serial solve. 0 and 1 run serially; negative values select
+	// GOMAXPROCS like Workers. Workers and Parallel multiply when both
+	// exceed one — keep Workers × Parallel near GOMAXPROCS (see
+	// docs/tuning.md).
+	Parallel int
 	// Metric overrides the instance's distance-oracle backend for this
 	// solve (MetricAuto keeps whatever the instance selects).
 	Metric MetricBackend
@@ -67,6 +78,8 @@ func (o Options) p3() float64 {
 	return o.Phase3Factor
 }
 
+// workers resolves the object-level fan-out: how many objects are placed
+// at once. Intra-solve parallelism is resolved separately by parallel().
 func (o Options) workers() int {
 	if o.Workers == 1 {
 		return 1
@@ -75,6 +88,19 @@ func (o Options) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
+}
+
+// parallel resolves the intra-solve worker count: 0 and 1 keep a single
+// object's solve serial (the historical behaviour), negative selects
+// GOMAXPROCS like workers().
+func (o Options) parallel() int {
+	if o.Parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // solveWS is the per-worker scratch of the solve pipeline: request vector,
@@ -285,16 +311,19 @@ func approximateObject(in *Instance, obj *Object, opt Options, ws *solveWS) []in
 	// Phase 1: related facility location problem. Writes count as reads;
 	// update costs are ignored. The facility instance is reused across
 	// objects so its internal scratch persists.
+	par := opt.parallel()
 	ws.fl.Open = in.Storage
 	ws.fl.Demand = req.Count
 	ws.fl.Metric = o
+	ws.fl.Parallel = par
 	copies := opt.fl(n)(&ws.fl)
 
-	// Storage radii for every node (cheap payment-ball scans); write radii
-	// are computed later, only for the copy candidates phase 3 actually
-	// compares — resolving rw(v) means walking the W closest requests,
-	// which is a near-complete sweep per node when writes are plentiful.
-	radii := ws.mws.ComputeStorageRadii(o, req, in.Storage)
+	// Storage radii for every node (cheap payment-ball scans, sharded
+	// across the intra-solve workers); write radii are computed later,
+	// only for the copy candidates phase 3 actually compares — resolving
+	// rw(v) means walking the W closest requests, which is a near-complete
+	// sweep per node when writes are plentiful.
+	radii := ws.mws.ComputeStorageRadiiParallel(o, req, in.Storage, par)
 
 	near := ws.mws.Near(n) // distance to nearest copy
 	for v := range near {
@@ -332,6 +361,16 @@ func approximateObject(in *Instance, obj *Object, opt Options, ws *solveWS) []in
 		for v := 0; v < n; v++ {
 			if has[v] {
 				order = append(order, v)
+			}
+		}
+		// Write radii for the candidates only — the expensive scans of the
+		// pipeline. Candidates are independent, so the range is partitioned
+		// across the intra-solve workers; each writes its own rw(v), so the
+		// merged table is byte-identical to the serial fill.
+		if par >= 2 && len(order) >= 2 {
+			metric.WriteRadiiParallel(o, req, w, order, radii, par)
+		} else {
+			for _, v := range order {
 				radii[v].RW = ws.mws.WriteRadius(o, req, w, v)
 			}
 		}

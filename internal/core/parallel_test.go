@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"netplace/internal/facility"
 	"netplace/internal/gen"
 )
 
@@ -20,6 +21,57 @@ func TestApproximateParallelMatchesSequential(t *testing.T) {
 			if !reflect.DeepEqual(seq.Copies, par.Copies) {
 				t.Fatalf("seed %d workers %d: parallel diverged: %v vs %v",
 					seed, workers, par.Copies, seq.Copies)
+			}
+		}
+	}
+}
+
+// Intra-solve parallelism must be exact: a solve sharded across any
+// number of workers is byte-identical to the serial solve, on every
+// oracle backend (the sharded scans write disjoint per-node results whose
+// values do not depend on the schedule).
+func TestIntraSolveParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, tree := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			n := 10 + rng.Intn(30)
+			nobj := 1 + rng.Intn(3)
+			for _, b := range instanceBackends(tree) {
+				in := intWeightInstance(rand.New(rand.NewSource(seed)), n, nobj, tree)
+				in.UseMetric(b, 3)
+				serial := Approximate(in, Options{Workers: 1})
+				for _, par := range []int{2, 4, 8, -1} {
+					got := Approximate(in, Options{Workers: 1, Parallel: par})
+					if !reflect.DeepEqual(got.Copies, serial.Copies) {
+						t.Fatalf("seed %d tree=%v backend %v parallel %d: %v vs serial %v",
+							seed, tree, b, par, got.Copies, serial.Copies)
+					}
+					// Workers and Parallel must compose without changing output.
+					both := Approximate(in, Options{Workers: 2, Parallel: par})
+					if !reflect.DeepEqual(both.Copies, serial.Copies) {
+						t.Fatalf("seed %d tree=%v backend %v workers 2 x parallel %d diverged",
+							seed, tree, b, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The Mettu–Plaxton phase-1 solver is the one that shards its own radius
+// scans; pin it explicitly at higher write pressure so the parallel FL
+// path is exercised even on instances small enough to auto-select local
+// search.
+func TestIntraSolveParallelMettuPlaxton(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoreInstance(rng, 40, 3, 0.6)
+		in.UseMetric(MetricLazy, 8)
+		serial := Approximate(in, Options{Workers: 1, FL: facility.MettuPlaxton})
+		for _, par := range []int{2, 8} {
+			got := Approximate(in, Options{Workers: 1, FL: facility.MettuPlaxton, Parallel: par})
+			if !reflect.DeepEqual(got.Copies, serial.Copies) {
+				t.Fatalf("seed %d parallel %d: Mettu–Plaxton parallel solve diverged", seed, par)
 			}
 		}
 	}

@@ -35,6 +35,13 @@ type Instance struct {
 	Demand []int64
 	Metric metric.Oracle
 
+	// Parallel bounds the goroutines sharding Mettu–Plaxton's per-node
+	// radius scans (each node's payment-ball walk is independent). 0 and
+	// 1 run serially; negative selects GOMAXPROCS. Results are identical
+	// either way; the greedy open pass is sequential regardless. The
+	// other solvers ignore it.
+	Parallel int
+
 	// Reusable scratch, grown on demand and kept across calls so a solver
 	// instance threaded through repeated solves (the core workspace reuses
 	// one per worker) does not allocate per object. Instances are therefore
@@ -305,8 +312,12 @@ func MettuPlaxton(in *Instance) []int {
 		in.mpOpen = make([]bool, n)
 	}
 	r := in.mpR[:n]
-	for v := 0; v < n; v++ {
-		r[v] = mpRadius(in, v)
+	if workers := metric.ShardWorkers(in.Parallel, n, metric.ShardBlock); workers > 1 {
+		mpRadiiParallel(in, r, workers)
+	} else {
+		for v := 0; v < n; v++ {
+			r[v] = mpRadius(in, v)
+		}
 	}
 	order := in.mpOrder[:n]
 	for i := range order {
@@ -359,9 +370,14 @@ func mpRadius(in *Instance, v int) float64 {
 	if in.mpRadFn == nil {
 		in.mpRadFn = func(u int, d float64) bool { return in.mpRadSt.step(u, d) }
 	}
-	in.mpRadSt = mpRadiusState{demand: in.Demand, target: in.Open[v], solved: math.Inf(1)}
-	metric.ScanNear(in.Metric, v, in.mpRadFn)
-	st := &in.mpRadSt
+	return mpRadiusWith(in, &in.mpRadSt, in.mpRadFn, v)
+}
+
+// mpRadiusWith is mpRadius against caller-owned scan state, so sharded
+// workers can each walk their own balls concurrently.
+func mpRadiusWith(in *Instance, st *mpRadiusState, fn func(u int, d float64) bool, v int) float64 {
+	*st = mpRadiusState{demand: in.Demand, target: in.Open[v], solved: math.Inf(1)}
+	metric.ScanNear(in.Metric, v, fn)
 	if !math.IsInf(st.solved, 1) {
 		return st.solved
 	}
@@ -369,4 +385,24 @@ func mpRadius(in *Instance, v int) float64 {
 		return math.Inf(1) // no demand anywhere: never pays off
 	}
 	return st.radius + (st.target-st.value)/float64(st.slope)
+}
+
+// mpRadiiParallel fills r with every node's Mettu–Plaxton radius using
+// workers goroutines (metric.Shard's block cursor), each with private
+// scan state writing disjoint entries — values identical to the serial
+// loop, in any schedule.
+func mpRadiiParallel(in *Instance, r []float64, workers int) {
+	metric.Shard(len(r), metric.ShardBlock, workers, func(claim func() (int, int, bool)) {
+		var st mpRadiusState
+		fn := func(u int, d float64) bool { return st.step(u, d) }
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			for v := lo; v < hi; v++ {
+				r[v] = mpRadiusWith(in, &st, fn, v)
+			}
+		}
+	})
 }

@@ -361,6 +361,15 @@ func patchConnect(g *graph.Graph, rng *rand.Rand, w WeightFn) {
 	for i := range comp {
 		comp[i] = -1
 	}
+	// Adjacency snapshot taken before any patch edge: every edge added
+	// below leads to an already-marked node, so traversals never need it —
+	// and interleaving AddEdge with graph traversals would rebuild the
+	// graph's compacted adjacency once per component.
+	adj := make([][]int32, n)
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], int32(e.V))
+		adj[e.V] = append(adj[e.V], int32(e.U))
+	}
 	var stack []int
 	mark := func(s, c int) {
 		stack = stack[:0]
@@ -369,12 +378,12 @@ func patchConnect(g *graph.Graph, rng *rand.Rand, w WeightFn) {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			g.Neighbors(v, func(u int, _ float64) {
+			for _, u := range adj[v] {
 				if comp[u] < 0 {
 					comp[u] = c
-					stack = append(stack, u)
+					stack = append(stack, int(u))
 				}
-			})
+			}
 		}
 	}
 	mark(0, 0)

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The CSR layout must present each node's neighbors in edge-insertion
+// order — the order the historical adjacency lists used — so that every
+// tie-break downstream of a sweep is unchanged.
+func TestCSRNeighborInsertionOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(3, 0, 3)
+	g.AddEdge(1, 2, 4)
+	var got []Edge
+	g.Neighbors(0, func(u int, w float64) { got = append(got, Edge{U: 0, V: u, W: w}) })
+	want := []Edge{{0, 2, 1}, {0, 1, 2}, {0, 3, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(0) = %v, want insertion order %v", got, want)
+	}
+	if !reflect.DeepEqual(g.NeighborList(0), want) {
+		t.Fatalf("NeighborList(0) = %v, want %v", g.NeighborList(0), want)
+	}
+}
+
+// Adding an edge after a traversal must invalidate the compacted
+// adjacency: the next sweep sees the new edge, including through a
+// Scanner built before the mutation.
+func TestCSRStaleAfterAddEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	sc := NewScanner(g)
+	row := sc.RowInto(0, make([]float64, 3))
+	if row[2] != Inf {
+		t.Fatalf("node 2 reachable before its edge exists: %v", row[2])
+	}
+	g.AddEdge(1, 2, 1)
+	row = sc.RowInto(0, make([]float64, 3))
+	if row[2] != 6 {
+		t.Fatalf("stale CSR: d(0,2) = %v after adding edge, want 6", row[2])
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d after adding edge, want 2", g.Degree(1))
+	}
+}
+
+// Concurrent first traversals must race-safely build one CSR layout and
+// agree on results (run with -race).
+func TestCSRConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnected(rng, 80, 120)
+	// Reference distances from a clone, so g itself still has no built
+	// CSR when the goroutines below race to build it.
+	want, _ := g.Clone().Dijkstra(0)
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _ := g.Dijkstra(0)
+			if !reflect.DeepEqual(got, want) {
+				t.Error("concurrent Dijkstra over fresh CSR diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

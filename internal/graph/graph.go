@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between nodes U and V with transmission cost W.
@@ -19,19 +21,35 @@ type Edge struct {
 	W    float64
 }
 
-// halfEdge is one direction of an Edge, stored in adjacency lists.
-type halfEdge struct {
-	to int
-	w  float64
-	id int // index into Graph.edges
+// csrAdj is the compacted adjacency of a graph in CSR (compressed sparse
+// row) form: node v's neighbors live at indices off[v]..off[v+1] of the
+// flat to/w arrays, in edge-insertion order per node. The flat layout
+// replaces the historical [][]halfEdge adjacency — one slice header and
+// one allocation per node, neighbors scattered across the heap — with
+// three contiguous arrays, so a Dijkstra sweep walks memory linearly and
+// the per-half-edge footprint drops from 24 bytes (padded struct) to 12.
+// m records the edge count at build time: the layout is immutable and a
+// later AddEdge simply makes it stale (see Graph.csr).
+type csrAdj struct {
+	m   int
+	off []int32   // n+1 offsets into to/w
+	to  []int32   // 2m neighbor ids
+	w   []float64 // 2m edge weights, aligned with to
 }
 
 // Graph is a weighted undirected graph with a fixed node count.
 // The zero value is not usable; construct with New.
+//
+// Adjacency is served in CSR form, built lazily on first traversal and
+// rebuilt transparently if edges were added since (AddEdge only appends
+// to the edge list). Concurrent traversals are safe once construction is
+// done; mutating the graph concurrently with traversals is not.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]halfEdge
+
+	adjMu    sync.Mutex
+	adjCache atomic.Pointer[csrAdj]
 }
 
 // New returns an empty graph on n nodes (0..n-1).
@@ -39,7 +57,56 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{n: n, adj: make([][]halfEdge, n)}
+	return &Graph{n: n}
+}
+
+// maxCSR bounds node and half-edge counts to what int32 CSR indices can
+// address; a graph beyond it would need >16 GiB of adjacency anyway.
+const maxCSR = 1<<31 - 2
+
+// csr returns the graph's compacted adjacency, building it on first use
+// and rebuilding it when edges were added since the last build. The
+// returned layout is immutable; lock-free on the steady-state path.
+func (g *Graph) csr() *csrAdj {
+	if c := g.adjCache.Load(); c != nil && c.m == len(g.edges) {
+		return c
+	}
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	if c := g.adjCache.Load(); c != nil && c.m == len(g.edges) {
+		return c
+	}
+	if g.n > maxCSR || len(g.edges) > maxCSR/2 {
+		panic("graph: graph too large for CSR adjacency")
+	}
+	c := &csrAdj{
+		m:   len(g.edges),
+		off: make([]int32, g.n+1),
+		to:  make([]int32, 2*len(g.edges)),
+		w:   make([]float64, 2*len(g.edges)),
+	}
+	for _, e := range g.edges {
+		c.off[e.U+1]++
+		c.off[e.V+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		c.off[v+1] += c.off[v]
+	}
+	// Fill with a moving per-node cursor; iterating edges in insertion
+	// order keeps each node's neighbor order identical to the historical
+	// adjacency lists, so every tie-break downstream is unchanged.
+	cursor := make([]int32, g.n)
+	copy(cursor, c.off[:g.n])
+	for _, e := range g.edges {
+		i := cursor[e.U]
+		c.to[i], c.w[i] = int32(e.V), e.W
+		cursor[e.U]++
+		j := cursor[e.V]
+		c.to[j], c.w[j] = int32(e.U), e.W
+		cursor[e.V]++
+	}
+	g.adjCache.Store(c)
+	return c
 }
 
 // N returns the number of nodes.
@@ -65,38 +132,42 @@ func (g *Graph) AddEdge(u, v int, w float64) int {
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
-	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w, id: id})
-	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w, id: id})
 	return id
 }
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	c := g.csr()
+	return int(c.off[v+1] - c.off[v])
+}
 
 // MaxDegree returns the maximum node degree, 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
-	max := 0
+	c := g.csr()
+	max := int32(0)
 	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
+		if d := c.off[v+1] - c.off[v]; d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Neighbors calls fn for every edge incident to v, passing the neighbor and
 // the edge weight. Iteration order is insertion order.
 func (g *Graph) Neighbors(v int, fn func(u int, w float64)) {
-	for _, h := range g.adj[v] {
-		fn(h.to, h.w)
+	c := g.csr()
+	for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+		fn(int(c.to[i]), c.w[i])
 	}
 }
 
 // NeighborList returns the neighbors of v with edge weights as a fresh slice.
 func (g *Graph) NeighborList(v int) []Edge {
-	out := make([]Edge, 0, len(g.adj[v]))
-	for _, h := range g.adj[v] {
-		out = append(out, Edge{U: v, V: h.to, W: h.w})
+	c := g.csr()
+	out := make([]Edge, 0, c.off[v+1]-c.off[v])
+	for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+		out = append(out, Edge{U: v, V: int(c.to[i]), W: c.w[i]})
 	}
 	return out
 }
@@ -116,6 +187,7 @@ func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
+	c := g.csr()
 	seen := make([]bool, g.n)
 	stack := []int{0}
 	seen[0] = true
@@ -123,11 +195,11 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, h := range g.adj[v] {
-			if !seen[h.to] {
-				seen[h.to] = true
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			if u := int(c.to[i]); !seen[u] {
+				seen[u] = true
 				count++
-				stack = append(stack, h.to)
+				stack = append(stack, u)
 			}
 		}
 	}
@@ -146,6 +218,7 @@ func (g *Graph) UnweightedDiameter() int {
 	if g.n <= 1 {
 		return 0
 	}
+	c := g.csr()
 	diam := 0
 	dist := make([]int, g.n)
 	queue := make([]int, 0, g.n)
@@ -159,10 +232,10 @@ func (g *Graph) UnweightedDiameter() int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[v] {
-				if dist[h.to] < 0 {
-					dist[h.to] = dist[v] + 1
-					queue = append(queue, h.to)
+			for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+				if u := int(c.to[i]); dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
 				}
 			}
 		}

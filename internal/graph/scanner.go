@@ -16,8 +16,11 @@ package graph
 // operation in the repository.
 //
 // A Scanner is not safe for concurrent use; pool Scanners per goroutine.
+// Many Scanners over one graph may run concurrently: they share the
+// graph's immutable CSR adjacency and keep all mutable state private.
 type Scanner struct {
 	g     *Graph
+	c     *csrAdj // compacted adjacency, refreshed per sweep when stale
 	dist  []float64
 	stamp []int // epoch in which dist/done were last written
 	done  []int
@@ -29,10 +32,20 @@ type Scanner struct {
 func NewScanner(g *Graph) *Scanner {
 	return &Scanner{
 		g:     g,
+		c:     g.csr(),
 		dist:  make([]float64, g.n),
 		stamp: make([]int, g.n),
 		done:  make([]int, g.n),
 	}
+}
+
+// adj returns the graph's CSR adjacency, re-fetching it when edges were
+// added since this Scanner last looked. One comparison on the hot path.
+func (s *Scanner) adj() *csrAdj {
+	if s.c.m != len(s.g.edges) {
+		s.c = s.g.csr()
+	}
+	return s.c
 }
 
 // Scan visits nodes in nondecreasing shortest-path distance from src,
@@ -68,6 +81,7 @@ func (s *Scanner) ScanFrom(sources []int, fn func(v int, d float64) bool) {
 
 // run drains the queue seeded by Scan or ScanFrom for epoch e.
 func (s *Scanner) run(e int, fn func(v int, d float64) bool) {
+	c := s.adj()
 	for len(s.q) > 0 {
 		it := s.q.pop()
 		v := it.node
@@ -78,12 +92,13 @@ func (s *Scanner) run(e int, fn func(v int, d float64) bool) {
 		if !fn(v, it.dist) {
 			return
 		}
-		for _, h := range s.g.adj[v] {
-			nd := it.dist + h.w
-			if s.stamp[h.to] != e || nd < s.dist[h.to] {
-				s.dist[h.to] = nd
-				s.stamp[h.to] = e
-				s.q.push(pqItem{node: h.to, dist: nd})
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			to := int(c.to[i])
+			nd := it.dist + c.w[i]
+			if s.stamp[to] != e || nd < s.dist[to] {
+				s.dist[to] = nd
+				s.stamp[to] = e
+				s.q.push(pqItem{node: to, dist: nd})
 			}
 		}
 	}
@@ -138,6 +153,7 @@ func (s *Scanner) ImproveNearest(src int, near []float64) {
 	if near[src] <= 0 {
 		return
 	}
+	c := s.adj()
 	s.epoch++
 	e := s.epoch
 	s.dist[src] = 0
@@ -152,17 +168,18 @@ func (s *Scanner) ImproveNearest(src int, near []float64) {
 		if it.dist < near[v] {
 			near[v] = it.dist
 		}
-		for _, h := range s.g.adj[v] {
-			nd := it.dist + h.w
-			if nd >= near[h.to] {
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			to := int(c.to[i])
+			nd := it.dist + c.w[i]
+			if nd >= near[to] {
 				continue
 			}
-			if s.stamp[h.to] == e && nd >= s.dist[h.to] {
+			if s.stamp[to] == e && nd >= s.dist[to] {
 				continue
 			}
-			s.dist[h.to] = nd
-			s.stamp[h.to] = e
-			s.q.push(pqItem{node: h.to, dist: nd})
+			s.dist[to] = nd
+			s.stamp[to] = e
+			s.q.push(pqItem{node: to, dist: nd})
 		}
 	}
 }
@@ -176,6 +193,7 @@ func (s *Scanner) Relax(vals []float64) {
 	if len(vals) != s.g.n {
 		panic("graph: Relax length mismatch")
 	}
+	c := s.adj()
 	s.q = s.q[:0]
 	for v, d := range vals {
 		if d < Inf {
@@ -188,10 +206,10 @@ func (s *Scanner) Relax(vals []float64) {
 		if it.dist > vals[v] {
 			continue
 		}
-		for _, h := range s.g.adj[v] {
-			if nd := it.dist + h.w; nd < vals[h.to] {
-				vals[h.to] = nd
-				s.q.push(pqItem{node: h.to, dist: nd})
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			if to := int(c.to[i]); it.dist+c.w[i] < vals[to] {
+				vals[to] = it.dist + c.w[i]
+				s.q.push(pqItem{node: to, dist: it.dist + c.w[i]})
 			}
 		}
 	}
@@ -210,6 +228,7 @@ func (g *Graph) ImproveNearest(src int, near []float64) {
 	if near[src] <= 0 {
 		return
 	}
+	c := g.csr()
 	dist := make(map[int]float64, 16)
 	q := pq{{node: src, dist: 0}}
 	dist[src] = 0
@@ -222,16 +241,17 @@ func (g *Graph) ImproveNearest(src int, near []float64) {
 		if it.dist < near[v] {
 			near[v] = it.dist
 		}
-		for _, h := range g.adj[v] {
-			nd := it.dist + h.w
-			if nd >= near[h.to] {
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			to := int(c.to[i])
+			nd := it.dist + c.w[i]
+			if nd >= near[to] {
 				continue
 			}
-			if d, ok := dist[h.to]; ok && nd >= d {
+			if d, ok := dist[to]; ok && nd >= d {
 				continue
 			}
-			dist[h.to] = nd
-			q.push(pqItem{node: h.to, dist: nd})
+			dist[to] = nd
+			q.push(pqItem{node: to, dist: nd})
 		}
 	}
 }

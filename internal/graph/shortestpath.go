@@ -80,6 +80,7 @@ func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
 	dist[src] = 0
 	q := pq{{node: src, dist: 0}}
 	done := make([]bool, g.n)
+	c := g.csr()
 	for len(q) > 0 {
 		it := q.pop()
 		v := it.node
@@ -87,11 +88,11 @@ func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
 			continue
 		}
 		done[v] = true
-		for _, h := range g.adj[v] {
-			if nd := dist[v] + h.w; nd < dist[h.to] {
-				dist[h.to] = nd
-				parent[h.to] = v
-				q.push(pqItem{node: h.to, dist: nd})
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			if to := int(c.to[i]); dist[v]+c.w[i] < dist[to] {
+				dist[to] = dist[v] + c.w[i]
+				parent[to] = v
+				q.push(pqItem{node: to, dist: dist[to]})
 			}
 		}
 	}
@@ -118,6 +119,7 @@ func (g *Graph) DijkstraFrom(sources []int) (dist []float64, src []int) {
 		}
 	}
 	done := make([]bool, g.n)
+	c := g.csr()
 	for len(q) > 0 {
 		it := q.pop()
 		v := it.node
@@ -125,11 +127,11 @@ func (g *Graph) DijkstraFrom(sources []int) (dist []float64, src []int) {
 			continue
 		}
 		done[v] = true
-		for _, h := range g.adj[v] {
-			if nd := dist[v] + h.w; nd < dist[h.to] {
-				dist[h.to] = nd
-				src[h.to] = src[v]
-				q.push(pqItem{node: h.to, dist: nd})
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			if to := int(c.to[i]); dist[v]+c.w[i] < dist[to] {
+				dist[to] = dist[v] + c.w[i]
+				src[to] = src[v]
+				q.push(pqItem{node: to, dist: dist[to]})
 			}
 		}
 	}

@@ -80,14 +80,15 @@ func (g *Graph) MSTPrim() ([]Edge, float64) {
 	inTree := make([]bool, g.n)
 	var tree []Edge
 	total := 0.0
+	adj := g.csr()
 	// Simple pair-heap via sort-free sift; reuse pq with encoded edges would
 	// be uglier, so keep a local heap of candidates.
 	h := candHeap{}
 	add := func(v int) {
 		inTree[v] = true
-		for _, he := range g.adj[v] {
-			if !inTree[he.to] {
-				h.push(cand{w: he.w, u: v, v: he.to})
+		for i, end := adj.off[v], adj.off[v+1]; i < end; i++ {
+			if to := int(adj.to[i]); !inTree[to] {
+				h.push(cand{w: adj.w[i], u: v, v: to})
 			}
 		}
 	}
@@ -250,16 +251,17 @@ func (g *Graph) TreeParents(root int) (parent []int, pw []float64, order []int) 
 	stack := []int{root}
 	seen[root] = true
 	parent[root] = -1
+	c := g.csr()
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		order = append(order, v)
-		for _, h := range g.adj[v] {
-			if !seen[h.to] {
-				seen[h.to] = true
-				parent[h.to] = v
-				pw[h.to] = h.w
-				stack = append(stack, h.to)
+		for i, end := c.off[v], c.off[v+1]; i < end; i++ {
+			if u := int(c.to[i]); !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				pw[u] = c.w[i]
+				stack = append(stack, u)
 			}
 		}
 	}
@@ -301,8 +303,9 @@ func (g *Graph) SubtreeSteiner(terminals []int) float64 {
 // Leaves returns the nodes of degree <= 1 in ascending order.
 func (g *Graph) Leaves() []int {
 	var out []int
+	c := g.csr()
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) <= 1 {
+		if c.off[v+1]-c.off[v] <= 1 {
 			out = append(out, v)
 		}
 	}

@@ -102,17 +102,23 @@ func (w *Workspace) ComputeStorageRadii(o Oracle, req Requests, cs []float64) []
 		w.radii = make([]Radii, n)
 	}
 	w.radii = w.radii[:n]
+	total := req.Total()
+	for v := 0; v < n; v++ {
+		w.radii[v] = w.storageRadiiForNode(o, req, v, total, cs[v])
+	}
+	return w.radii
+}
+
+// storageRadiiForNode runs one per-node storage-radius scan through the
+// workspace's pre-bound callback: the rwDone preset makes the scan resolve
+// only the storage prefix.
+func (w *Workspace) storageRadiiForNode(o Oracle, req Requests, v int, total int64, storeCost float64) Radii {
 	if w.radiiFn == nil {
 		w.radiiFn = func(u int, d float64) bool { return w.radSt.step(u, d) }
 	}
-	total := req.Total()
-	for v := 0; v < n; v++ {
-		// rwDone preset: the scan resolves only the storage prefix.
-		w.radSt = radiiState{req: req, storeCost: cs[v], rwDone: true}
-		ScanNear(o, v, w.radiiFn)
-		w.radii[v] = w.radSt.finalize(total, cs[v])
-	}
-	return w.radii
+	w.radSt = radiiState{req: req, storeCost: storeCost, rwDone: true}
+	ScanNear(o, v, w.radiiFn)
+	return w.radSt.finalize(total, storeCost)
 }
 
 // WriteRadius returns rw(v) = d(v, W), the average distance from v to the

@@ -111,6 +111,8 @@ func (s *Server) Stats() Stats {
 		CacheMisses:        misses,
 		CacheHitRate:       rate,
 		SolvesTotal:        s.counters.runs.Load(),
+		Workers:            s.cfg.Workers,
+		EffectiveParallel:  effectiveParallel(s.cfg.Parallel),
 		SharedSolves:       s.counters.shared.Load(),
 		InFlightSolves:     s.counters.inflight.Load(),
 		SolveErrors:        s.counters.errors.Load(),

@@ -44,6 +44,15 @@ type Config struct {
 	// Workers bounds concurrently executing solver runs (batched what-if
 	// variants queue behind it). 0 selects GOMAXPROCS.
 	Workers int
+	// Parallel is the default intra-solve parallelism of a solver run:
+	// how many goroutines cooperate on a single object's solve (see
+	// core.Options.Parallel). 0 keeps single-object solves serial, the
+	// right default when Workers already saturates the machine with
+	// object-level fan-out; negative selects GOMAXPROCS, which is the
+	// lever for incremental what-if and session re-solves (one object at
+	// a time, so object-level fan-out cannot help them). A request's own
+	// "parallel" option overrides this default per solve.
+	Parallel int
 	// SolveTimeout caps one solver run. 0 selects DefaultSolveTimeout;
 	// negative disables the cap. The cap (and a client disconnect) always
 	// cancels waiting for a worker slot; whether it can abort a running
@@ -102,6 +111,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// effectiveParallel resolves a Config.Parallel value to the worker count
+// a solver run actually uses: negative is GOMAXPROCS, zero is serial.
+func effectiveParallel(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p == 0 {
+		return 1
+	}
+	return p
+}
+
 // counters aggregates the engine's monotonic event counts and gauges; all
 // fields are atomics so hot paths never take a lock to count.
 type counters struct {
@@ -149,6 +170,12 @@ type Stats struct {
 	// SolvesTotal counts solver executions; because identical in-flight
 	// requests collapse, it can be far below CacheMisses under load.
 	SolvesTotal int64 `json:"solves_total"`
+	// Workers is the configured worker-pool size; EffectiveParallel the
+	// resolved intra-solve parallelism a solver run uses when the request
+	// does not override it (Config.Parallel with negative resolved to
+	// GOMAXPROCS, 0 to 1 — serial).
+	Workers           int `json:"workers"`
+	EffectiveParallel int `json:"effective_parallel"`
 	// SharedSolves counts requests that joined an identical in-flight run
 	// instead of executing their own.
 	SharedSolves int64 `json:"shared_solves"`

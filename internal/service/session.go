@@ -36,8 +36,11 @@ type SessionConfig struct {
 	Options SolveOptions `json:"options,omitzero"`
 }
 
-// streamConfig lowers the wire config to a stream.Config.
-func (c SessionConfig) streamConfig(runWorkers int) (stream.Config, error) {
+// streamConfig lowers the wire config to a stream.Config. parallel is
+// the service's default intra-solve parallelism, applied when the
+// session's own options leave it unset — session epoch re-solves run one
+// object at a time, so this is the only parallelism available to them.
+func (c SessionConfig) streamConfig(runWorkers, parallel int) (stream.Config, error) {
 	opts, err := c.Options.normalize()
 	if err != nil {
 		return stream.Config{}, err
@@ -55,7 +58,7 @@ func (c SessionConfig) streamConfig(runWorkers int) (stream.Config, error) {
 		Horizon:         c.Horizon,
 		Payback:         c.Payback,
 		MigrationFactor: c.MigrationFactor,
-		Solve:           opts.coreOptions(runWorkers),
+		Solve:           opts.coreOptions(runWorkers, parallel),
 	}, nil
 }
 
@@ -255,7 +258,7 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, ErrNotFound)
 		return
 	}
-	cfg, err := req.Config.streamConfig(s.engine.runWorkers())
+	cfg, err := req.Config.streamConfig(s.engine.runWorkers(), s.cfg.Parallel)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -243,7 +243,10 @@ func (e *Engine) scenarioIncremental(ctx context.Context, id string, in *core.In
 			return SolveResult{}, ctx.Err()
 		}
 		e.counters.inflight.Add(1)
-		copt := opts.coreOptions(1)
+		// One object at a time: object-level fan-out is useless here, so
+		// intra-solve parallelism is the only way this path uses more than
+		// one core.
+		copt := e.lowerOptions(opts, 1)
 		for _, i := range changed {
 			p.Copies[i] = core.ApproximateObject(scen, &scen.Objects[i], copt)
 		}

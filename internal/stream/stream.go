@@ -74,6 +74,10 @@ type Config struct {
 	// every re-solved placement is adopted as-is.
 	MigrationFactor float64
 	// Solve configures the per-object re-solve (see core.Options).
+	// Epoch closes re-solve one object at a time, so object-level
+	// Workers cannot help them; set Solve.Parallel (negative for all
+	// cores) to shard each re-solve's radius scans instead — output is
+	// byte-identical to serial.
 	Solve core.Options
 	// SolveGate, when non-nil, wraps each epoch close's re-solve and
 	// re-placement work. The placement service installs the engine's
