@@ -6,20 +6,31 @@
 //
 // Usage:
 //
-//	benchreport [-out report.json] [-baseline BENCH_PR5.json] [-max-regress 8]
-//	            [-cpu 1,2,4,8]
+//	benchreport [-out report.json] [-baseline BENCH_PR6.json] [-max-regress 8]
+//	            [-sizes 2500,50k] [-kernels solve,stream] [-budget 10m]
+//	            [-gate-par 1.5] [-cpuprofile cpu.out] [-cpu 1,2,4,8]
 //
-// The kernels cover the steady-state hot path of the placement service on
-// a resident 2500-node lazy-oracle instance: full re-solve, cost
-// evaluation, multi-source sweep, cache-hit row fetch, the batched
-// what-if path both incremental and with the incremental path disabled
-// (the from-scratch fallback) — so the report captures exactly the ratio
-// the incremental path buys — since PR 4, one full streaming epoch of
-// the adaptive engine (event accounting + estimate roll + incremental
-// re-solve), and, since PR 5, `_par` variants of the solve, what-if and
-// stream kernels running with intra-solve parallelism on all cores
-// (core.Options.Parallel / the service parallel option), so serial and
-// sharded pipelines are tracked side by side.
+// The kernels cover the steady-state hot path of the placement service in
+// two size tiers. The 2500-node tier measures a resident lazy-oracle
+// instance: full re-solve, cost evaluation, multi-source sweep, cache-hit
+// row fetch, the batched what-if path both incremental and from-scratch,
+// and one full streaming epoch of the adaptive engine. The 50k tier (since
+// PR 6) runs the solve, what-if and stream-epoch kernels on the sparse-grid
+// acceptance topology — the size at which intra-solve parallelism is
+// expected to pay — with `_par` variants on all cores and serial
+// counterparts pinned to Parallel=1 (at 50k an unset knob resolves
+// parallel under the size-aware auto policy, whose threshold is recorded
+// in the report note). 2500-node kernels leave the knob unset, so they
+// also measure that the auto default stays serial-fast at small sizes.
+//
+// -sizes and -kernels filter the kernel set (comma-separated size tags /
+// name substrings); -budget stops starting new kernels once the wall-clock
+// budget is spent, so the 50k tier cannot time out a CI job. Skipped or
+// filtered kernels are exempt from the baseline comparison. -gate-par
+// asserts that every measured `X_par` kernel beats its serial `X`
+// counterpart by the given factor — the speedup gate the bench-large CI
+// job runs on multi-core machines. -cpuprofile writes a pprof CPU profile
+// covering the measured kernels.
 //
 // With -cpu, the whole kernel set is re-run once per requested
 // GOMAXPROCS value and every entry is emitted as name/cpu=N — the form
@@ -43,9 +54,11 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"netplace/internal/benchkit"
 	"netplace/internal/core"
@@ -80,16 +93,28 @@ func residentInstance(objects int) *core.Instance {
 
 var sink float64
 
-// kernels enumerates the measured benchmarks. Each entry builds its own
-// fixture outside the timed loop. The _par variants run the same
-// workloads with intra-solve parallelism on all cores; their outputs are
-// byte-identical to the serial kernels', only the schedule differs.
-func kernels() map[string]func(b *testing.B) {
+// kernel is one measured benchmark: a stable name, its size tier tag (the
+// -sizes filter key), and the body.
+type kernel struct {
+	name string
+	size string
+	fn   func(b *testing.B)
+}
+
+// kernels enumerates the measured benchmarks in report order. Each entry
+// builds its own fixture outside the timed loop. The _par variants run
+// the same workloads with intra-solve parallelism on all cores; their
+// outputs are byte-identical to the serial kernels', only the schedule
+// differs. 50k serial kernels pin Parallel=1 explicitly — at that size an
+// unset knob resolves parallel under the auto policy — while the 2500
+// kernels leave it unset, tracking the auto default.
+func kernels() []kernel {
 	lazyOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64}
 	parOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64, Parallel: -1}
-	benchSolve := func(opts core.Options) func(b *testing.B) {
+	serialOpts := core.Options{Metric: core.MetricLazy, MetricRows: 64, Parallel: 1}
+	benchSolve := func(mk func(int) *core.Instance, objects int, opts core.Options) func(b *testing.B) {
 		return func(b *testing.B) {
-			in := residentInstance(8)
+			in := mk(objects)
 			core.Approximate(in, opts) // warm oracle and pools
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -98,10 +123,10 @@ func kernels() map[string]func(b *testing.B) {
 			}
 		}
 	}
-	return map[string]func(b *testing.B){
-		"resident_solve_2500_lazy":     benchSolve(lazyOpts),
-		"resident_solve_2500_lazy_par": benchSolve(parOpts),
-		"resident_objectcost_2500_lazy": func(b *testing.B) {
+	return []kernel{
+		{"resident_solve_2500_lazy", "2500", benchSolve(residentInstance, 8, lazyOpts)},
+		{"resident_solve_2500_lazy_par", "2500", benchSolve(residentInstance, 8, parOpts)},
+		{"resident_objectcost_2500_lazy", "2500", func(b *testing.B) {
 			in := residentInstance(1)
 			p := core.Approximate(in, lazyOpts)
 			obj := &in.Objects[0]
@@ -109,8 +134,8 @@ func kernels() map[string]func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sink += in.ObjectCost(obj, p.Copies[0]).Total()
 			}
-		},
-		"resident_nearestof_2500_lazy": func(b *testing.B) {
+		}},
+		{"resident_nearestof_2500_lazy", "2500", func(b *testing.B) {
 			in := residentInstance(1)
 			p := core.Approximate(in, lazyOpts)
 			o := in.Metric()
@@ -119,8 +144,8 @@ func kernels() map[string]func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sink += metric.NearestOfInto(o, p.Copies[0], dst)[0]
 			}
-		},
-		"lazy_row_hit_1024": func(b *testing.B) {
+		}},
+		{"lazy_row_hit_1024", "2500", func(b *testing.B) {
 			in := residentInstance(1)
 			in.UseMetric(core.MetricLazy, 1024)
 			o := in.Metric()
@@ -135,30 +160,44 @@ func kernels() map[string]func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sink += o.Row(1024 - working + i%working)[0]
 			}
-		},
-		"whatif_incremental_2500": func(b *testing.B) {
-			benchWhatIf(b, service.Config{Workers: 2})
-		},
-		"whatif_incremental_2500_par": func(b *testing.B) {
-			benchWhatIf(b, service.Config{Workers: 2, Parallel: -1})
-		},
-		"whatif_full_2500": func(b *testing.B) {
-			benchWhatIf(b, service.Config{Workers: 2, DisableIncremental: true})
-		},
+		}},
+		{"whatif_incremental_2500", "2500", func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2}, residentInstance(8))
+		}},
+		{"whatif_incremental_2500_par", "2500", func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, Parallel: -1}, residentInstance(8))
+		}},
+		{"whatif_full_2500", "2500", func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, DisableIncremental: true}, residentInstance(8))
+		}},
 		// One op = one full streaming epoch on a resident 2500-node
 		// instance: 512 Observe calls (accounting against the warm lazy
 		// oracle) plus the epoch close (estimate roll, incremental
 		// re-solve of changed objects, hysteresis).
-		"stream_epoch_2500":     benchStreamEpoch(lazyOpts),
-		"stream_epoch_2500_par": benchStreamEpoch(parOpts),
+		{"stream_epoch_2500", "2500", benchStreamEpoch(lazyOpts, residentInstance, 8)},
+		{"stream_epoch_2500_par", "2500", benchStreamEpoch(parOpts, residentInstance, 8)},
+		// The 50k tier: the sparse-grid acceptance topology, where one
+		// object's solve is heavy enough that intra-solve sharding and
+		// batched row construction must beat serial (the margin the
+		// bench-large CI job gates with -gate-par).
+		{"solve_50k_lazy", "50k", benchSolve(benchkit.LargeInstance, 2, serialOpts)},
+		{"solve_50k_lazy_par", "50k", benchSolve(benchkit.LargeInstance, 2, parOpts)},
+		{"whatif_50k", "50k", func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, Parallel: 1}, benchkit.LargeInstance(2))
+		}},
+		{"whatif_50k_par", "50k", func(b *testing.B) {
+			benchWhatIf(b, service.Config{Workers: 2, Parallel: -1}, benchkit.LargeInstance(2))
+		}},
+		{"stream_epoch_50k", "50k", benchStreamEpochLarge(serialOpts, 2)},
+		{"stream_epoch_50k_par", "50k", benchStreamEpochLarge(parOpts, 2)},
 	}
 }
 
-// benchStreamEpoch builds the streaming-epoch kernel over the shared
-// resident fixture with the given per-object solve options.
-func benchStreamEpoch(opts core.Options) func(b *testing.B) {
+// benchStreamEpoch builds the streaming-epoch kernel over the given
+// fixture with the given per-object solve options.
+func benchStreamEpoch(opts core.Options, mk func(int) *core.Instance, objects int) func(b *testing.B) {
 	return func(b *testing.B) {
-		in := residentInstance(8)
+		in := mk(objects)
 		rng := rand.New(rand.NewSource(7))
 		const epoch = 512
 		seq := workload.Sequence(in.Objects, epoch*64, rng)
@@ -178,12 +217,41 @@ func benchStreamEpoch(opts core.Options) func(b *testing.B) {
 	}
 }
 
+// benchStreamEpochLarge builds the 50k streaming-epoch kernel: one op is
+// one full epoch of drifting read-only load — fresh uniform requesters
+// every epoch, so the estimates always change and every close re-solves
+// both objects through the sharded solve pipeline. Reads-only keeps the
+// op cost stable: a write's multicast over the ~400-copy large placement
+// rebuilds hundreds of distance rows, so op timing would hinge on whether
+// the epoch happened to draw one of the fixture's rare writers; the
+// multicast price is measured by the solve and what-if kernels instead.
+func benchStreamEpochLarge(opts core.Options, objects int) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchkit.LargeInstance(objects)
+		rng := rand.New(rand.NewSource(7))
+		const epoch = 512
+		eng := stream.New(in, stream.Config{Epoch: epoch, Window: 4, Solve: opts})
+		feed := func() {
+			for i := 0; i < epoch; i++ {
+				r := workload.Request{Obj: i % objects, V: rng.Intn(in.N())}
+				if _, err := eng.Observe(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		feed() // warm: the first close adopts the initial solved placement
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feed()
+		}
+	}
+}
+
 // benchWhatIf measures one-object-changed scenarios against a resident
-// 8-object instance: the incremental path re-solves 1 object and splices
-// 7; the full path re-solves all 8 every time.
-func benchWhatIf(b *testing.B, cfg service.Config) {
+// instance: the incremental path re-solves 1 object and splices the rest;
+// the full path re-solves every object each time.
+func benchWhatIf(b *testing.B, cfg service.Config, in *core.Instance) {
 	srv := service.New(cfg)
-	in := residentInstance(8)
 	info, _ := srv.Engine().Registry().Add("bench", in)
 	ctx := context.Background()
 	reads := make([]int64, in.N())
@@ -212,6 +280,11 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 8, "fail when a kernel exceeds this multiple of the baseline")
 	note := flag.String("note", "", "free-form note recorded in the report")
 	cpus := flag.String("cpu", "", "comma-separated GOMAXPROCS values; kernels run once per value as name/cpu=N")
+	sizes := flag.String("sizes", "", "comma-separated size tiers to run (e.g. 2500,50k); empty runs all")
+	names := flag.String("kernels", "", "comma-separated kernel-name substrings to run; empty runs all")
+	budget := flag.Duration("budget", 0, "stop starting new kernels once this wall-clock budget is spent (0: unlimited)")
+	gatePar := flag.Float64("gate-par", 0, "require every measured X_par kernel to beat its serial X by this factor (0: no gate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measured kernels here")
 	flag.Parse()
 
 	cpuList, err := parseCPUList(*cpus)
@@ -226,11 +299,47 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := reportJSON{Schema: "netplace-bench/v1", Note: *note, Benchmarks: map[string]metricJSON{}}
+	selected := selectKernels(*sizes, *names)
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no kernels match the -sizes/-kernels filters")
+		os.Exit(1)
+	}
+
+	// The auto-parallel threshold is part of the measurement conditions:
+	// it decides which kernels' unset knobs resolve parallel.
+	noteText := fmt.Sprintf("auto_parallel_min_nodes=%d", core.AutoParallelMinNodes)
+	if *note != "" {
+		noteText = *note + "; " + noteText
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	start := time.Now()
+	rep := reportJSON{Schema: "netplace-bench/v1", Note: noteText, Benchmarks: map[string]metricJSON{}}
+	measured := map[string]bool{}
 	measure := func(suffix string) {
-		for name, fn := range kernels() {
-			r := testing.Benchmark(fn)
-			name += suffix
+		for _, k := range selected {
+			if *budget > 0 && time.Since(start) > *budget {
+				fmt.Fprintf(os.Stderr, "benchreport: wall-clock budget %v spent; skipping %s and later kernels\n", *budget, k.name+suffix)
+				return
+			}
+			r := testing.Benchmark(k.fn)
+			name := k.name + suffix
+			measured[name] = true
 			rep.Benchmarks[name] = metricJSON{
 				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 				AllocsPerOp: r.AllocsPerOp(),
@@ -264,15 +373,89 @@ func main() {
 		os.Exit(1)
 	}
 
+	failed := false
 	if *baseline != "" {
-		if failures := compare(rep, *baseline, *maxRegress); len(failures) > 0 {
+		if failures := compare(rep, *baseline, *maxRegress, measured); len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 			}
-			os.Exit(1)
+			failed = true
+		} else {
+			fmt.Fprintln(os.Stderr, "benchreport: within", *maxRegress, "x of baseline", *baseline)
 		}
-		fmt.Fprintln(os.Stderr, "benchreport: within", *maxRegress, "x of baseline", *baseline)
 	}
+	if *gatePar > 0 {
+		if failures := gateParallel(rep, *gatePar); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "PARALLEL GATE:", f)
+			}
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchreport: every _par kernel >= %.2fx its serial counterpart\n", *gatePar)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// selectKernels applies the -sizes and -kernels filters to the kernel
+// list, preserving report order.
+func selectKernels(sizes, names string) []kernel {
+	sizeSet := map[string]bool{}
+	for _, s := range strings.Split(sizes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sizeSet[s] = true
+		}
+	}
+	var subs []string
+	for _, s := range strings.Split(names, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			subs = append(subs, s)
+		}
+	}
+	var out []kernel
+	for _, k := range kernels() {
+		if len(sizeSet) > 0 && !sizeSet[k.size] {
+			continue
+		}
+		if len(subs) > 0 {
+			hit := false
+			for _, sub := range subs {
+				if strings.Contains(k.name, sub) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// gateParallel checks that every measured X_par kernel beat its measured
+// serial counterpart X by at least ratio. Pairs whose serial half was
+// filtered out or skipped are ignored.
+func gateParallel(rep reportJSON, ratio float64) []string {
+	var failures []string
+	for name, par := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(name, "_par")
+		if !ok {
+			continue
+		}
+		serial, ok := rep.Benchmarks[base]
+		if !ok || par.NsPerOp <= 0 {
+			continue
+		}
+		if got := serial.NsPerOp / par.NsPerOp; got < ratio {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx over %s, want >= %.2fx (%.0f vs %.0f ns/op)",
+				name, got, base, ratio, par.NsPerOp, serial.NsPerOp))
+		}
+	}
+	return failures
 }
 
 // parseCPUList parses the -cpu flag: a comma-separated list of positive
@@ -294,8 +477,10 @@ func parseCPUList(s string) ([]int, error) {
 
 // compare checks the current report against a committed baseline. Small
 // absolute floors keep sub-millisecond kernels from tripping the gate on
-// scheduler noise.
-func compare(cur reportJSON, path string, maxRegress float64) []string {
+// scheduler noise. Baseline entries outside the measured set (filtered
+// out by -sizes/-kernels or skipped under -budget) are not compared —
+// the filters select the gate's scope.
+func compare(cur reportJSON, path string, maxRegress float64, measured map[string]bool) []string {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return []string{fmt.Sprintf("cannot read baseline: %v", err)}
@@ -306,11 +491,10 @@ func compare(cur reportJSON, path string, maxRegress float64) []string {
 	}
 	var failures []string
 	for name, b := range base.Benchmarks {
-		c, ok := cur.Benchmarks[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: kernel missing from current run", name))
+		if !measured[name] {
 			continue
 		}
+		c := cur.Benchmarks[name]
 		if c.NsPerOp > b.NsPerOp*maxRegress && c.NsPerOp > 1e6 {
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%.0fx)",
 				name, c.NsPerOp, b.NsPerOp, maxRegress))

@@ -13,9 +13,13 @@
 // the default intra-solve parallelism of each run (how many goroutines
 // cooperate on a single object's solve — the lever for incremental
 // what-if and session re-solves, which handle one object at a time).
-// 0 keeps single-object solves serial, negative uses all cores; a
-// request's own "parallel" option overrides the default per solve. The
-// effective value is reported at /statz as effective_parallel.
+// 0 selects the size-aware auto policy: serial on instances below the
+// auto-parallel threshold (where sharding costs more than the scans),
+// all cores at or above it. 1 pins serial, negative uses all cores
+// unconditionally; a request's own "parallel" option overrides the
+// default per solve. The per-instance resolved values are reported at
+// /statz as effective_parallel, alongside the threshold as
+// auto_parallel_min_nodes.
 //
 // Endpoints (see internal/service.Server for bodies):
 //
@@ -74,7 +78,7 @@ func main() {
 		mem       = flag.Int64("mem-budget", 0, "resident-instance memory budget in estimated bytes (0: default, <0: unbounded)")
 		cache     = flag.Int("cache", 0, "solve-result cache entries (0: default, <0: disable)")
 		workers   = flag.Int("workers", 0, "max concurrently executing solver runs (0: GOMAXPROCS)")
-		parallel  = flag.Int("parallel", 0, "default intra-solve parallelism per solver run (0: serial, <0: GOMAXPROCS)")
+		parallel  = flag.Int("parallel", 0, "default intra-solve parallelism per solver run (0: size-aware auto, 1: serial, <0: GOMAXPROCS)")
 		timeout   = flag.Duration("solve-timeout", 0, "per-solve wall-clock cap (0: default, <0: none)")
 		maxBatch  = flag.Int("max-batch", 0, "max variants per what-if request (0: default)")
 		maxSess   = flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0: default)")

@@ -5,6 +5,7 @@
 package benchkit
 
 import (
+	"fmt"
 	"math/rand"
 
 	"netplace/internal/core"
@@ -26,6 +27,37 @@ func ResidentInstance(objects int) *core.Instance {
 		storage[v] = 2 + rng.Float64()*6
 	}
 	objs := workload.Generate(n, workload.Spec{Objects: objects, MeanRate: 3, WriteFraction: 0.25, ZipfS: 0.8}, rng)
+	in := core.MustInstance(g, storage, objs)
+	in.UseMetric(core.MetricLazy, 64)
+	return in
+}
+
+// LargeInstance is the 50k-node tier fixture: the PR 1 sparse-grid
+// acceptance topology (a 224×224 unit-weight grid, 50176 nodes) with a
+// CDN-like demand shape — every node reads once, so payment balls stay
+// local, and each object has sparse writers on its own residue class
+// (W = 42 per object). Past core.AutoParallelMinNodes, this is the size
+// at which the sharded and batched kernels are expected to pay; the lazy
+// oracle is bounded to 64 rows as in the acceptance test.
+func LargeInstance(objects int) *core.Instance {
+	const side = 224 // 50176 nodes
+	g := gen.Grid(side, side, gen.UnitWeights)
+	n := g.N()
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = float64(3 + v%5)
+	}
+	objs := make([]core.Object, objects)
+	for k := range objs {
+		obj := core.Object{Name: fmt.Sprintf("obj%d", k), Reads: make([]int64, n), Writes: make([]int64, n)}
+		for v := 0; v < n; v++ {
+			obj.Reads[v] = 1
+			if (v+k*601)%1201 == 0 {
+				obj.Writes[v] = 1
+			}
+		}
+		objs[k] = obj
+	}
 	in := core.MustInstance(g, storage, objs)
 	in.UseMetric(core.MetricLazy, 64)
 	return in

@@ -41,9 +41,11 @@ type Options struct {
 	// radii, Mettu–Plaxton payment balls) and the phase-3 write-radius
 	// candidate scans shard across this many workers, each with its own
 	// pooled scan workspace; the merged output is byte-identical to the
-	// serial solve. 0 and 1 run serially; negative values select
-	// GOMAXPROCS like Workers. Workers and Parallel multiply when both
-	// exceed one — keep Workers × Parallel near GOMAXPROCS (see
+	// serial solve. 0 selects the size-aware auto policy: serial below
+	// AutoParallelMinNodes nodes (where scheduling overhead beats the
+	// scans), GOMAXPROCS at or above. 1 pins serial, negative values
+	// select GOMAXPROCS like Workers. Workers and Parallel multiply when
+	// both exceed one — keep Workers × Parallel near GOMAXPROCS (see
 	// docs/tuning.md).
 	Parallel int
 	// Metric overrides the instance's distance-oracle backend for this
@@ -79,7 +81,8 @@ func (o Options) p3() float64 {
 }
 
 // workers resolves the object-level fan-out: how many objects are placed
-// at once. Intra-solve parallelism is resolved separately by parallel().
+// at once. Intra-solve parallelism is resolved separately by
+// parallelFor(n).
 func (o Options) workers() int {
 	if o.Workers == 1 {
 		return 1
@@ -90,17 +93,25 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
-// parallel resolves the intra-solve worker count: 0 and 1 keep a single
-// object's solve serial (the historical behaviour), negative selects
-// GOMAXPROCS like workers().
-func (o Options) parallel() int {
-	if o.Parallel < 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if o.Parallel == 0 {
-		return 1
-	}
-	return o.Parallel
+// AutoParallelMinNodes is the instance size at which an unset (zero)
+// Parallel option switches from serial to GOMAXPROCS — the size-aware
+// auto policy, re-exported from the metric package where the sharded
+// kernels live.
+const AutoParallelMinNodes = metric.AutoParallelMinNodes
+
+// EffectiveParallel resolves a Parallel knob against an instance of n
+// nodes: the worker count a solve with that knob actually uses. Exported
+// so the service layer can report the resolved value per instance.
+func EffectiveParallel(parallel, n int) int {
+	return metric.AutoWorkers(parallel, n)
+}
+
+// parallelFor resolves the intra-solve worker count against the instance
+// size: 1 pins a single object's solve serial (the historical
+// behaviour), negative selects GOMAXPROCS like workers(), and 0 applies
+// the size-aware auto policy (serial below AutoParallelMinNodes).
+func (o Options) parallelFor(n int) int {
+	return metric.AutoWorkers(o.Parallel, n)
 }
 
 // solveWS is the per-worker scratch of the solve pipeline: request vector,
@@ -311,7 +322,7 @@ func approximateObject(in *Instance, obj *Object, opt Options, ws *solveWS) []in
 	// Phase 1: related facility location problem. Writes count as reads;
 	// update costs are ignored. The facility instance is reused across
 	// objects so its internal scratch persists.
-	par := opt.parallel()
+	par := opt.parallelFor(n)
 	ws.fl.Open = in.Storage
 	ws.fl.Demand = req.Count
 	ws.fl.Metric = o

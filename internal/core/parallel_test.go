@@ -3,10 +3,12 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"netplace/internal/facility"
 	"netplace/internal/gen"
+	"netplace/internal/graph"
 )
 
 // Object-level parallelism must be exact: same placements as sequential.
@@ -104,5 +106,90 @@ func TestDistConcurrentInit(t *testing.T) {
 		if other := <-done; &other[0] != &first[0] {
 			t.Fatal("concurrent Dist() returned distinct matrices")
 		}
+	}
+}
+
+// large50k builds the 50k-node sparse fixture of the parallel-equivalence
+// property test on the requested backend: the sparse-grid acceptance
+// topology for the lazy oracle, a random integer-weight tree of the same
+// size for the tree oracle (the dense backend is excluded — Θ(n²) memory).
+// Demand is CDN-like: every node reads once, writers sit on a sparse
+// residue class, so payment balls stay local and a solve is heavy enough
+// for the sharded kernels to matter without making the test minutes long.
+func large50k(t *testing.T, backend MetricBackend) *Instance {
+	t.Helper()
+	const side = 224 // 50176 nodes
+	n := side * side
+	var g *graph.Graph
+	switch backend {
+	case MetricLazy:
+		g = gen.Grid(side, side, gen.UnitWeights)
+	case MetricTree:
+		rng := rand.New(rand.NewSource(77))
+		g = gen.RandomTree(n, rng, func(u, v int) float64 { return float64(1 + rng.Intn(5)) })
+	default:
+		t.Fatalf("large50k: unsupported backend %v", backend)
+	}
+	storage := make([]float64, n)
+	for v := range storage {
+		storage[v] = float64(3 + v%5)
+	}
+	obj := Object{Reads: make([]int64, n), Writes: make([]int64, n)}
+	for v := 0; v < n; v++ {
+		obj.Reads[v] = 1
+		if v%1201 == 0 {
+			obj.Writes[v] = 1
+		}
+	}
+	in := MustInstance(g, storage, []Object{obj})
+	in.UseMetric(backend, 64)
+	return in
+}
+
+// At 50k nodes every parallel knob — auto (which resolves GOMAXPROCS past
+// AutoParallelMinNodes), explicit counts, and all-cores — must place
+// byte-identically to a solve pinned serial, on both large-instance
+// backends. This is the property the size-aware default rests on: auto
+// may only change the schedule, never the placement.
+func TestParallel50kByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-node solves in -short mode")
+	}
+	for _, backend := range []MetricBackend{MetricLazy, MetricTree} {
+		in := large50k(t, backend)
+		serial := Approximate(in, Options{Workers: 1, Parallel: 1})
+		for _, par := range []int{0, 2, 4, -1} {
+			got := Approximate(in, Options{Workers: 1, Parallel: par})
+			if !reflect.DeepEqual(got.Copies, serial.Copies) {
+				t.Fatalf("backend %v parallel %d: placement diverged from serial", backend, par)
+			}
+		}
+	}
+}
+
+// The auto policy's resolution itself: unset Parallel stays serial below
+// the threshold and fans out at it, explicit knobs are untouched.
+func TestEffectiveParallelAutoPolicy(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct{ parallel, n, want int }{
+		{0, AutoParallelMinNodes - 1, 1},
+		{0, AutoParallelMinNodes, procs},
+		{0, 2500, 1},
+		{1, 1 << 20, 1},
+		{3, 1 << 20, 3},
+		{3, 10, 3},
+		{-1, 10, procs},
+	}
+	for _, c := range cases {
+		if got := EffectiveParallel(c.parallel, c.n); got != c.want {
+			t.Fatalf("EffectiveParallel(%d, %d) = %d, want %d", c.parallel, c.n, got, c.want)
+		}
+	}
+	// Options.parallelFor is the same resolution the solve pipeline uses.
+	if got := (Options{Parallel: 0}).parallelFor(AutoParallelMinNodes); got != procs {
+		t.Fatalf("parallelFor at threshold = %d, want %d", got, procs)
+	}
+	if got := (Options{Parallel: 0}).parallelFor(2500); got != 1 {
+		t.Fatalf("parallelFor below threshold = %d, want 1", got)
 	}
 }

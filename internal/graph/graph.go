@@ -35,6 +35,12 @@ type csrAdj struct {
 	off []int32   // n+1 offsets into to/w
 	to  []int32   // 2m neighbor ids
 	w   []float64 // 2m edge weights, aligned with to
+
+	// wmin/wmax summarise the edge-weight profile at build time: wmin is
+	// the smallest positive weight (+Inf when none), wmax the largest.
+	// The bucketed SSSP kernel reads them to pick its bucket width and to
+	// decide whether bucketing is profitable at all (see canBucket).
+	wmin, wmax float64
 }
 
 // Graph is a weighted undirected graph with a fixed node count.
@@ -80,14 +86,21 @@ func (g *Graph) csr() *csrAdj {
 		panic("graph: graph too large for CSR adjacency")
 	}
 	c := &csrAdj{
-		m:   len(g.edges),
-		off: make([]int32, g.n+1),
-		to:  make([]int32, 2*len(g.edges)),
-		w:   make([]float64, 2*len(g.edges)),
+		m:    len(g.edges),
+		off:  make([]int32, g.n+1),
+		to:   make([]int32, 2*len(g.edges)),
+		w:    make([]float64, 2*len(g.edges)),
+		wmin: math.Inf(1),
 	}
 	for _, e := range g.edges {
 		c.off[e.U+1]++
 		c.off[e.V+1]++
+		if e.W > 0 && e.W < c.wmin {
+			c.wmin = e.W
+		}
+		if e.W > c.wmax {
+			c.wmax = e.W
+		}
 	}
 	for v := 0; v < g.n; v++ {
 		c.off[v+1] += c.off[v]

@@ -26,6 +26,16 @@ type Scanner struct {
 	done  []int
 	epoch int
 	q     pq
+
+	// Scratch of the bucketed SSSP kernel (ScanBuckets): the cyclic
+	// bucket array, the per-bucket drain copy, the settled-node list
+	// sorted before emission, and the pre-bound (distance, index)
+	// comparator (built once; a literal at the sort site would be boxed
+	// per bucket).
+	bq   [][]int32
+	bcur []int32
+	bset []int32
+	bcmp func(a, b int32) int
 }
 
 // NewScanner returns a Scanner over g.

@@ -145,11 +145,11 @@ func (sh *lazyShard) touch(e *lazyEntry) {
 	sh.pushFront(e)
 }
 
-// Row returns the distance row of u, computing it with a single-source
-// Dijkstra on a cache miss. The returned slice is shared with the cache;
-// callers must not modify it. It remains valid after eviction (eviction
-// only drops the cache's reference).
-func (l *Lazy) Row(u int) []float64 {
+// entryFor returns u's cache entry, creating it (and evicting the
+// least-recently-used entry past the shard's capacity) on a miss,
+// refreshing its recency on a hit. The entry's row may not be computed
+// yet; callers resolve it through the entry's once.
+func (l *Lazy) entryFor(u int) *lazyEntry {
 	sh := l.shardOf(u)
 	sh.mu.Lock()
 	e, ok := sh.rows[u]
@@ -166,13 +166,86 @@ func (l *Lazy) Row(u int) []float64 {
 		sh.touch(e)
 	}
 	sh.mu.Unlock()
+	return e
+}
+
+// fill computes e's row with the given scanner if no other goroutine has
+// yet; concurrent fills of the same entry collapse through the entry's
+// once. The SSSP kernel is auto-selected per the graph's weight profile
+// (bucketed on bounded-spread weights, heap Dijkstra otherwise);
+// distances are identical either way.
+func (l *Lazy) fill(e *lazyEntry, sc *graph.Scanner) {
 	e.once.Do(func() {
-		sc := l.scanner()
-		row := sc.RowInto(u, make([]float64, l.g.N()))
-		l.putScanner(sc)
+		row := sc.RowAutoInto(e.key, make([]float64, l.g.N()))
 		e.row.Store(&row)
 	})
+}
+
+// Row returns the distance row of u, computing it with a single-source
+// shortest-path sweep on a cache miss. The returned slice is shared with
+// the cache; callers must not modify it. It remains valid after eviction
+// (eviction only drops the cache's reference).
+func (l *Lazy) Row(u int) []float64 {
+	e := l.entryFor(u)
+	if p := e.row.Load(); p == nil {
+		sc := l.scanner()
+		l.fill(e, sc)
+		l.putScanner(sc)
+	}
 	return *e.row.Load()
+}
+
+// RowsInto fills rows[i] with the distance row of us[i] and returns the
+// slice, growing it as needed. Cache hits are resolved up front; the
+// missing rows are then built together — each worker borrows one pooled
+// Scanner for its whole share and the misses are claimed one at a time
+// off an atomic cursor — instead of faulting one row at a time inside
+// the caller's loop. This is the batched multi-source row construction
+// behind PairwiseMST and the other row-plural kernels on large
+// instances, where K independent Dijkstra runs are the serial floor.
+//
+// workers follows AutoWorkers: negative is GOMAXPROCS, 0 the size-aware
+// auto policy, positive literal. Concurrent batches sharing entries (or
+// racing point queries) collapse through each entry's once, so the rows
+// produced are identical to serial fills in every schedule. Returned
+// rows are cache-shared and read-only, like Row's.
+func (l *Lazy) RowsInto(us []int, rows [][]float64, workers int) [][]float64 {
+	if cap(rows) < len(us) {
+		rows = make([][]float64, len(us))
+	}
+	rows = rows[:len(us)]
+	// Resolve entries serially — shard-locked map touches are cheap —
+	// and collect the entries whose rows still need a sweep.
+	var missEntries []*lazyEntry
+	var missIdx []int
+	for i, u := range us {
+		e := l.entryFor(u)
+		if p := e.row.Load(); p != nil {
+			rows[i] = *p
+			continue
+		}
+		missEntries = append(missEntries, e)
+		missIdx = append(missIdx, i)
+	}
+	if len(missEntries) == 0 {
+		return rows
+	}
+	workers = AutoWorkers(workers, l.g.N())
+	Shard(len(missEntries), 1, workers, func(claim func() (lo, hi int, ok bool)) {
+		sc := l.scanner()
+		defer l.putScanner(sc)
+		for {
+			i, _, ok := claim()
+			if !ok {
+				return
+			}
+			l.fill(missEntries[i], sc)
+		}
+	})
+	for k, e := range missEntries {
+		rows[missIdx[k]] = *e.row.Load()
+	}
+	return rows
 }
 
 // peek returns u's row if it is cached and already computed, refreshing its

@@ -75,6 +75,32 @@ type NearImprover interface {
 	ImproveNearest(src int, near []float64)
 }
 
+// RowBatcher is an optional Oracle capability: materialise the distance
+// rows of several nodes in one call. The lazy backend resolves cache hits
+// up front and builds the misses with a pool of per-worker scanners —
+// batched multi-source row construction — instead of faulting one row at
+// a time. workers follows AutoWorkers (negative GOMAXPROCS, 0 size-aware
+// auto, positive literal); rows is caller-owned scratch, grown and
+// returned like append. Returned rows are backend-shared and read-only,
+// and identical to len(us) serial Row calls in every schedule.
+type RowBatcher interface {
+	RowsInto(us []int, rows [][]float64, workers int) [][]float64
+}
+
+// Rows returns the distance rows of the nodes in us, using the oracle's
+// batched row construction when available (misses built in parallel
+// across workers; see RowBatcher) and one Row fetch per node otherwise.
+func Rows(o Oracle, us []int, workers int) [][]float64 {
+	rows := make([][]float64, len(us))
+	if rb, ok := o.(RowBatcher); ok {
+		return rb.RowsInto(us, rows, workers)
+	}
+	for i, u := range us {
+		rows[i] = o.Row(u)
+	}
+	return rows
+}
+
 // ScanNear visits nodes in nondecreasing distance from v, calling
 // fn(u, d) until it returns false. It uses the oracle's native scanner when
 // available and otherwise sorts the distance row of v (ties broken toward
@@ -142,7 +168,11 @@ func ImproveNearest(o Oracle, src int, near []float64) {
 
 // NearestIdx returns, for every node, the distance to and index (into
 // sources) of its nearest source, ties broken toward the earlier source —
-// the deterministic tie-break the restricted-placement machinery relies on.
+// the deterministic tie-break the restricted-placement machinery relies
+// on. Past the auto-parallel threshold with a batching backend the source
+// rows are prefetched in one parallel RowsInto call; the fold itself
+// stays serial in source order, so the tie-break (and every output byte)
+// is unchanged.
 func NearestIdx(o Oracle, sources []int) (dist []float64, idx []int) {
 	n := o.N()
 	dist = make([]float64, n)
@@ -151,8 +181,17 @@ func NearestIdx(o Oracle, sources []int) (dist []float64, idx []int) {
 		dist[v] = math.Inf(1)
 		idx[v] = -1
 	}
+	var rows [][]float64
+	if rb, ok := o.(RowBatcher); ok && len(sources) >= 2 && AutoWorkers(0, n) > 1 {
+		rows = rb.RowsInto(sources, nil, 0)
+	}
 	for i, s := range sources {
-		row := o.Row(s)
+		var row []float64
+		if rows != nil {
+			row = rows[i]
+		} else {
+			row = o.Row(s)
+		}
 		for v, d := range row {
 			if d < dist[v] {
 				dist[v] = d
@@ -183,8 +222,15 @@ func Pairwise(o Oracle, points []int) [][]float64 {
 // copy set. Prim in O(k²) after k row fetches; 0 for k <= 1. Scratch comes
 // from a pooled Workspace, so steady-state calls allocate nothing.
 func PairwiseMST(o Oracle, points []int) float64 {
+	return PairwiseMSTParallel(o, points, 0)
+}
+
+// PairwiseMSTParallel is PairwiseMST with an explicit worker knob for the
+// row prefetch (0: size-aware auto, 1: serial, negative: all cores); the
+// result is bit-identical at every worker count.
+func PairwiseMSTParallel(o Oracle, points []int, workers int) float64 {
 	ws := wsPool.Get().(*Workspace)
-	total := ws.PairwiseMST(o, points)
+	total := ws.PairwiseMSTParallel(o, points, workers)
 	putWorkspace(ws)
 	return total
 }
@@ -197,7 +243,7 @@ func PairwiseMSTTree(o Oracle, points []int) ([][2]int, float64) {
 	}
 	var edges [][2]int
 	ws := wsPool.Get().(*Workspace)
-	total := ws.prim(o, points, &edges)
+	total := ws.prim(o, points, &edges, 0)
 	putWorkspace(ws)
 	return edges, total
 }

@@ -27,6 +27,36 @@ import (
 // per-index work is heavy (phase-3 write radii) shard with grain 1.
 const ShardBlock = 32
 
+// AutoParallelMinNodes is the node-count threshold of the size-aware
+// auto-parallel policy: below it a parallelism knob of 0 resolves to
+// serial, at or above it to GOMAXPROCS. Calibrated on the committed
+// bench trajectory — at 2500 nodes the sharded kernels lose to serial
+// (goroutine hand-off costs more than a payment-ball scan; see the
+// BENCH_PR5 _par entries), while at 50k nodes per-node sweeps are heavy
+// enough that sharding wins — so the threshold sits between those two
+// measured sizes, at the first power of two past the dense-backend
+// cutoff where per-node scan cost clearly dominates scheduling cost.
+const AutoParallelMinNodes = 16384
+
+// AutoWorkers resolves a parallelism knob against an instance size n:
+// negative selects GOMAXPROCS, positive values are taken literally, and
+// 0 selects the size-aware auto policy — serial below
+// AutoParallelMinNodes nodes, GOMAXPROCS at or above — so leaving the
+// knob unset is never a regression at small sizes and never leaves
+// cores idle at large ones.
+func AutoWorkers(workers, n int) int {
+	switch {
+	case workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case workers > 0:
+		return workers
+	case n >= AutoParallelMinNodes:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
 // ShardWorkers normalises a worker count against an n-index range
 // sharded at the given grain: negative selects GOMAXPROCS, and the count
 // never exceeds the number of claimable blocks (a worker with no block

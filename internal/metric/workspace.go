@@ -16,7 +16,8 @@ import (
 type Workspace struct {
 	near     []float64
 	radii    []Radii
-	pairD    []float64 // k×k pairwise distances, flattened row-major
+	pairD    []float64   // k×k pairwise distances, flattened row-major
+	pairRows [][]float64 // batched row prefetch scratch (RowBatcher path)
 	pairBest []float64
 	pairFrom []int
 	pairIn   []bool
@@ -138,13 +139,29 @@ func (w *Workspace) WriteRadius(o Oracle, req Requests, writes int64, v int) flo
 }
 
 // pairwise fills the workspace's flattened k×k distance matrix over points
-// using one row fetch per point and returns it.
-func (w *Workspace) pairwise(o Oracle, points []int) []float64 {
+// using one row fetch per point and returns it. When the resolved worker
+// count exceeds one (workers follows AutoWorkers: 0 is the size-aware
+// auto policy) and the backend batches rows, the rows are prefetched in
+// one RowsInto call so cache misses build in parallel instead of
+// faulting one at a time; the extracted matrix is identical either way —
+// cached row values do not depend on the schedule — so serial resolutions
+// keep the point-loop byte-for-byte.
+func (w *Workspace) pairwise(o Oracle, points []int, workers int) []float64 {
 	k := len(points)
 	if cap(w.pairD) < k*k {
 		w.pairD = make([]float64, k*k)
 	}
 	d := w.pairD[:k*k]
+	if rb, ok := o.(RowBatcher); ok && k >= 2 && AutoWorkers(workers, o.N()) > 1 {
+		w.pairRows = rb.RowsInto(points, w.pairRows, workers)
+		for i, row := range w.pairRows {
+			for j, q := range points {
+				d[i*k+j] = row[q]
+			}
+			w.pairRows[i] = nil // do not pin cache rows past the call
+		}
+		return d
+	}
 	for i, p := range points {
 		row := o.Row(p)
 		for j, q := range points {
@@ -158,18 +175,26 @@ func (w *Workspace) pairwise(o Oracle, points []int) []float64 {
 // under the oracle metric using the workspace's scratch; identical in
 // result to the package-level PairwiseMST.
 func (w *Workspace) PairwiseMST(o Oracle, points []int) float64 {
+	return w.PairwiseMSTParallel(o, points, 0)
+}
+
+// PairwiseMSTParallel is PairwiseMST with an explicit worker knob for the
+// row prefetch (0: size-aware auto, 1: serial, negative: all cores). The
+// result is bit-identical at every worker count; the knob only decides
+// whether uncached copy rows build concurrently.
+func (w *Workspace) PairwiseMSTParallel(o Oracle, points []int, workers int) float64 {
 	if len(points) <= 1 {
 		return 0
 	}
-	return w.prim(o, points, nil)
+	return w.prim(o, points, nil, workers)
 }
 
 // prim runs Prim's algorithm over the workspace's pairwise matrix; when
 // edges is non-nil the MST edges (parent-first index pairs into points) are
 // appended to it. The selection order matches the historical dense
 // implementation exactly, so results are bit-identical across call paths.
-func (w *Workspace) prim(o Oracle, points []int, edges *[][2]int) float64 {
-	d := w.pairwise(o, points)
+func (w *Workspace) prim(o Oracle, points []int, edges *[][2]int, workers int) float64 {
+	d := w.pairwise(o, points, workers)
 	k := len(points)
 	if cap(w.pairBest) < k {
 		w.pairBest = make([]float64, k)

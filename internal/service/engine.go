@@ -48,8 +48,10 @@ type SolveOptions struct {
 	MetricRows int `json:"metric_rows,omitempty"`
 	// Parallel bounds the goroutines cooperating on a single object's
 	// solve (see core.Options.Parallel): 0 falls back to the service's
-	// configured default (Config.Parallel), 1 forces serial, negative
-	// selects GOMAXPROCS. Parallel output is byte-identical to serial.
+	// configured default (Config.Parallel, itself 0 = size-aware auto:
+	// serial below core.AutoParallelMinNodes nodes, GOMAXPROCS at or
+	// above), 1 forces serial, negative selects GOMAXPROCS. Parallel
+	// output is byte-identical to serial.
 	Parallel int `json:"parallel,omitempty"`
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"netplace/internal/core"
 	"netplace/internal/encode"
 )
 
@@ -100,35 +101,43 @@ func (s *Server) Stats() Stats {
 	if scenarios > 0 {
 		incrRate = float64(incr) / float64(scenarios)
 	}
+	// Per-instance resolved parallelism: under the auto policy the same
+	// Config.Parallel yields different worker counts per instance size.
+	perInstance := make(map[string]int)
+	for _, info := range s.engine.registry.List() {
+		perInstance[info.ID] = effectiveParallel(s.cfg.Parallel, info.Nodes)
+	}
 	return Stats{
-		UptimeSeconds:      time.Since(s.start).Seconds(),
-		Instances:          s.engine.registry.Len(),
-		InstanceBytes:      s.engine.registry.UsedBytes(),
-		MemoryBudget:       s.cfg.MemoryBudget,
-		Evictions:          s.counters.evictions.Load(),
-		CacheEntries:       s.engine.CacheLen(),
-		CacheHits:          hits,
-		CacheMisses:        misses,
-		CacheHitRate:       rate,
-		SolvesTotal:        s.counters.runs.Load(),
-		Workers:            s.cfg.Workers,
-		EffectiveParallel:  effectiveParallel(s.cfg.Parallel),
-		SharedSolves:       s.counters.shared.Load(),
-		InFlightSolves:     s.counters.inflight.Load(),
-		SolveErrors:        s.counters.errors.Load(),
-		Simulations:        s.counters.simulations.Load(),
-		WhatIfScenarios:    scenarios,
-		WhatIfIncremental:  incr,
-		WhatIfFull:         s.counters.fullScenarios.Load(),
-		IncrementalHitRate: incrRate,
-		ObjectsResolved:    s.counters.objectsResolved.Load(),
-		ObjectsSpliced:     s.counters.objectsSpliced.Load(),
-		SessionsOpen:       s.sessions.len(),
-		SessionsOpened:     s.counters.sessionsOpened.Load(),
-		SessionEvents:      s.counters.sessionEvents.Load(),
-		SessionEpochs:      s.counters.sessionEpochs.Load(),
-		SessionResolves:    s.counters.sessionResolves.Load(),
-		SessionMoves:       s.counters.sessionMoves.Load(),
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		Instances:            s.engine.registry.Len(),
+		InstanceBytes:        s.engine.registry.UsedBytes(),
+		MemoryBudget:         s.cfg.MemoryBudget,
+		Evictions:            s.counters.evictions.Load(),
+		CacheEntries:         s.engine.CacheLen(),
+		CacheHits:            hits,
+		CacheMisses:          misses,
+		CacheHitRate:         rate,
+		SolvesTotal:          s.counters.runs.Load(),
+		Workers:              s.cfg.Workers,
+		ParallelConfig:       s.cfg.Parallel,
+		AutoParallelMinNodes: core.AutoParallelMinNodes,
+		EffectiveParallel:    perInstance,
+		SharedSolves:         s.counters.shared.Load(),
+		InFlightSolves:       s.counters.inflight.Load(),
+		SolveErrors:          s.counters.errors.Load(),
+		Simulations:          s.counters.simulations.Load(),
+		WhatIfScenarios:      scenarios,
+		WhatIfIncremental:    incr,
+		WhatIfFull:           s.counters.fullScenarios.Load(),
+		IncrementalHitRate:   incrRate,
+		ObjectsResolved:      s.counters.objectsResolved.Load(),
+		ObjectsSpliced:       s.counters.objectsSpliced.Load(),
+		SessionsOpen:         s.sessions.len(),
+		SessionsOpened:       s.counters.sessionsOpened.Load(),
+		SessionEvents:        s.counters.sessionEvents.Load(),
+		SessionEpochs:        s.counters.sessionEpochs.Load(),
+		SessionResolves:      s.counters.sessionResolves.Load(),
+		SessionMoves:         s.counters.sessionMoves.Load(),
 	}
 }
 

@@ -5,10 +5,12 @@ import (
 	"math"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"netplace/internal/core"
 	"netplace/internal/encode"
 )
 
@@ -342,5 +344,46 @@ func TestInstanceSharedOracle(t *testing.T) {
 	}
 	if reg.Metric() != before {
 		t.Fatal("second solve rebuilt the shared oracle")
+	}
+}
+
+// /statz must report the raw parallel knob, the auto threshold, and the
+// per-instance resolved parallelism — which under the auto policy depends
+// on each instance's node count.
+func TestStatsEffectiveParallelPerInstance(t *testing.T) {
+	srv, c := newTestServer(t, Config{}) // Parallel 0: size-aware auto
+	ctx := context.Background()
+	up, err := c.Upload(ctx, "small", pathInstance(t, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.ParallelConfig != 0 {
+		t.Fatalf("parallel_config = %d, want 0", st.ParallelConfig)
+	}
+	if st.AutoParallelMinNodes != core.AutoParallelMinNodes {
+		t.Fatalf("auto_parallel_min_nodes = %d, want %d", st.AutoParallelMinNodes, core.AutoParallelMinNodes)
+	}
+	// A 10-node instance is far below the threshold: auto resolves serial.
+	if got, ok := st.EffectiveParallel[up.ID]; !ok || got != 1 {
+		t.Fatalf("effective_parallel[%s] = %d (ok %v), want 1", up.ID, got, ok)
+	}
+
+	// A pinned config reports the pin for every instance regardless of size.
+	srv2, c2 := newTestServer(t, Config{Parallel: 3})
+	up2, err := c2.Upload(ctx, "pinned", pathInstance(t, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.Stats().EffectiveParallel[up2.ID]; got != 3 {
+		t.Fatalf("pinned effective_parallel = %d, want 3", got)
+	}
+
+	// The resolver itself flips at the threshold for the auto knob.
+	if got := effectiveParallel(0, core.AutoParallelMinNodes); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto at threshold = %d, want GOMAXPROCS", got)
+	}
+	if got := effectiveParallel(0, core.AutoParallelMinNodes-1); got != 1 {
+		t.Fatalf("auto below threshold = %d, want 1", got)
 	}
 }

@@ -199,8 +199,13 @@ func (e *Engine) baseFor(ctx context.Context, id string, in *core.Instance, info
 				return nil, fmt.Errorf("%w: base placement does not fit instance: %v", ErrInternal, err)
 			}
 			rec := &baseRecord{placement: p, raw: make([]core.Breakdown, len(in.Objects))}
+			// Pricing honours the request's parallel knob: on large
+			// instances a copy set past the oracle's row budget needs its
+			// rows rebuilt, and the batched prefetch is the difference
+			// between one sweep at a time and all cores.
+			par := e.lowerOptions(opts, 1).Parallel
 			for i := range in.Objects {
-				rec.raw[i] = in.ObjectCostRaw(&in.Objects[i], p.Copies[i])
+				rec.raw[i] = in.ObjectCostRawParallel(&in.Objects[i], p.Copies[i], par)
 			}
 			e.bases.Put(key, rec)
 			return rec, nil
@@ -258,11 +263,12 @@ func (e *Engine) scenarioIncremental(ctx context.Context, id string, in *core.In
 		isChanged[i] = true
 	}
 	var b core.Breakdown
+	par := e.lowerOptions(opts, 1).Parallel
 	for i := range patched {
 		obj := &scen.Objects[i]
 		var raw core.Breakdown
 		if isChanged[i] {
-			raw = scen.ObjectCostRaw(obj, p.Copies[i])
+			raw = scen.ObjectCostRawParallel(obj, p.Copies[i], par)
 		} else {
 			raw = base.raw[i]
 		}

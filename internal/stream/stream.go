@@ -209,6 +209,20 @@ type Engine struct {
 	// of objects.
 	feePerStep float64
 
+	// Nearest-copy fast path: once a copy set outgrows the oracle's row
+	// cache, per-copy point queries thrash — every miss recomputes a full
+	// distance row, so a single event costs up to len(copies) Dijkstra
+	// sweeps. Past rowBudget copies the engine walks outward from the
+	// event node instead (nearScan) and stops at the first copy it meets,
+	// paying only for the ball to the nearest replica. The callback is
+	// pre-bound (scanFn over scanCopies/scanBest) so the per-event scan
+	// does not allocate a closure.
+	nearScan   metric.NearScanner
+	rowBudget  int
+	scanCopies []int
+	scanBest   float64
+	scanFn     func(u int, d float64) bool
+
 	// scratch reused across epoch closes
 	estObjects []core.Object
 	quantBuf   []int64
@@ -225,6 +239,23 @@ func New(in *core.Instance, cfg Config) *Engine {
 		cfg:    cfg,
 		est:    NewEstimator(len(in.Objects), in.N(), cfg),
 		objs:   make([]objState, len(in.Objects)),
+	}
+	// The scan path only beats point queries when the oracle both scans
+	// truncated balls and bounds its row cache (copy sets within the
+	// budget stay cached, so Dist hits are free there).
+	e.rowBudget = math.MaxInt
+	if ns, ok := e.oracle.(metric.NearScanner); ok {
+		if b, ok := e.oracle.(interface{ Budget() int }); ok {
+			e.nearScan = ns
+			e.rowBudget = b.Budget()
+		}
+	}
+	e.scanFn = func(u int, d float64) bool {
+		if _, ok := slices.BinarySearch(e.scanCopies, u); ok {
+			e.scanBest = d
+			return false
+		}
+		return true
 	}
 	e.estObjects = make([]core.Object, len(in.Objects))
 	for i := range e.estObjects {
@@ -287,16 +318,28 @@ func (e *Engine) Observe(r workload.Request) (*EpochReport, error) {
 	// Storage rent accrues per event-step for every live replica of every
 	// seeded object (normalised by the trace length in Stats).
 	e.report.StorageFeeSteps += e.feePerStep
-	// Access: nearest current copy.
+	// Access: nearest current copy. Copy sets within the oracle's row
+	// budget use point queries (steady state: every Dist hits a cached
+	// copy row); larger sets use the truncated outward scan — the metric
+	// is symmetric, so the first copy met in nondecreasing distance from
+	// the event node is the nearest one.
 	best := math.Inf(1)
-	for _, c := range st.copies {
-		if d := o.Dist(c, r.V); d < best {
-			best = d
+	if e.nearScan != nil && len(st.copies) > e.rowBudget {
+		e.scanCopies, e.scanBest = st.copies, best
+		e.nearScan.ScanNear(r.V, e.scanFn)
+		best = e.scanBest
+	} else {
+		for _, c := range st.copies {
+			if d := o.Dist(c, r.V); d < best {
+				best = d
+			}
 		}
 	}
 	e.report.Transmission += size * best
 	if r.Write && len(st.copies) > 1 {
-		e.report.Transmission += size * metric.PairwiseMST(o, st.copies)
+		// The multicast price honours the session's parallel knob: a copy
+		// set past the row budget rebuilds its rows, batched when allowed.
+		e.report.Transmission += size * metric.PairwiseMSTParallel(o, st.copies, e.cfg.Solve.Parallel)
 	}
 	e.est.Observe(r)
 	e.stats.Events++
@@ -374,8 +417,8 @@ func (e *Engine) closeEpoch() *EpochReport {
 			}
 			// Hysteresis: estimated saving per epoch must pay the migration
 			// transfer back within Payback epochs.
-			curCost := scen.ObjectCost(obj, st.copies).Total()
-			candCost := scen.ObjectCost(obj, cand).Total()
+			curCost := scen.ObjectCostParallel(obj, st.copies, e.cfg.Solve.Parallel).Total()
+			candCost := scen.ObjectCostParallel(obj, cand, e.cfg.Solve.Parallel).Total()
 			saving := curCost - candCost // per Horizon events
 			transfer := e.migrationCost(o, i, st.copies, cand)
 			if e.cfg.MigrationFactor >= 0 {
@@ -433,14 +476,23 @@ func (e *Engine) closeEpoch() *EpochReport {
 func (e *Engine) migrationCost(o metric.Oracle, obj int, cur, next []int) float64 {
 	size := e.in.Objects[obj].Scale()
 	total := 0.0
+	// Same regime split as the per-event accounting: a source set past
+	// the row budget is priced by truncated scans from each new copy.
+	scan := e.nearScan != nil && len(cur) > e.rowBudget
 	for _, u := range next {
-		if slices.Contains(cur, u) {
+		if _, ok := slices.BinarySearch(cur, u); ok {
 			continue
 		}
 		best := math.Inf(1)
-		for _, c := range cur {
-			if d := o.Dist(c, u); d < best {
-				best = d
+		if scan {
+			e.scanCopies, e.scanBest = cur, best
+			e.nearScan.ScanNear(u, e.scanFn)
+			best = e.scanBest
+		} else {
+			for _, c := range cur {
+				if d := o.Dist(c, u); d < best {
+					best = d
+				}
 			}
 		}
 		if !math.IsInf(best, 1) {
