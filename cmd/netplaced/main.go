@@ -8,6 +8,16 @@
 //
 //	netplaced [-addr :8723] [-mem-budget bytes] [-cache entries]
 //	          [-workers n] [-parallel n] [-solve-timeout 5m]
+//	          [-data-dir dir] [-no-sync]
+//
+// With -data-dir the server is durable: uploaded instances are
+// snapshotted at registration and every streaming session keeps a
+// snapshot plus an event write-ahead log under the directory, so a
+// restart (or crash) recovers instances and sessions to exactly the
+// state every acknowledged request left them in — see
+// docs/persistence.md. -no-sync trades fsync durability against an OS
+// crash for ingest throughput; a plain process crash still loses
+// nothing. Without -data-dir the server is purely in-memory.
 //
 // -workers bounds how many solver runs execute at once; -parallel sets
 // the default intra-solve parallelism of each run (how many goroutines
@@ -84,10 +94,12 @@ func main() {
 		maxSess   = flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0: default)")
 		noIncr    = flag.Bool("no-incremental", false, "answer every what-if scenario with a full solve")
 		withPprof = flag.Bool("pprof", false, "expose /debug/pprof and /debug/memz profiling endpoints")
+		dataDir   = flag.String("data-dir", "", "persist instances and sessions under this directory and recover them at startup (empty: in-memory)")
+		noSync    = flag.Bool("no-sync", false, "skip fsyncs on the persistence path (faster; an OS crash can lose acked events)")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	srv, err := service.Open(service.Config{
 		MemoryBudget:       *mem,
 		CacheEntries:       *cache,
 		Workers:            *workers,
@@ -96,7 +108,18 @@ func main() {
 		MaxBatchVariants:   *maxBatch,
 		MaxSessions:        *maxSess,
 		DisableIncremental: *noIncr,
+		DataDir:            *dataDir,
+		NoSync:             *noSync,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netplaced:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	if *dataDir != "" {
+		st := srv.Stats()
+		log.Printf("netplaced data dir %s: recovered %d instances, %d sessions", *dataDir, st.Instances, st.RecoveredSessions)
+	}
 	handler := srv.Handler()
 	if *withPprof {
 		// Profiling endpoints are opt-in: they expose internals and cost

@@ -14,13 +14,19 @@
 //
 // Server mode (-server URL) uploads the instance to a running netplaced,
 // opens a streaming session, streams the trace in batches, and reports
-// the server-side session stats and final placement.
+// the server-side session stats and final placement. A replay that dies
+// partway (network error, server restart) exits non-zero and names the
+// failed batch plus how many events the server had acknowledged; against
+// a netplaced running with -data-dir the session survives, and
+// -resume <session-id> picks the replay up where it stopped by skipping
+// the trace prefix the session already ingested.
 //
 // Usage:
 //
 //	netreplay -instance inst.json -trace trace.jsonl [-epoch 256]
 //	          [-window 4] [-alpha 0] [-horizon 0] [-payback 2]
 //	          [-migration-factor 1] [-json] [-server http://host:8723]
+//	          [-resume session-id]
 //
 // The trace is JSONL, one event per line (see internal/stream.EventJSON):
 //
@@ -60,11 +66,16 @@ func main() {
 		migf      = flag.Float64("migration-factor", 0, "hysteresis migration price factor (0: default 1, negative: disabled)")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of a table")
 		server    = flag.String("server", "", "replay against a running netplaced at this base URL instead of in-process")
+		resume    = flag.String("resume", "", "server mode: resume this session id, skipping the trace prefix it already ingested")
 	)
 	flag.Parse()
 	if *instPath == "" || *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "netreplay: -instance and -trace are required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume != "" && *server == "" {
+		fmt.Fprintln(os.Stderr, "netreplay: -resume only applies to server mode (-server)")
 		os.Exit(2)
 	}
 
@@ -90,7 +101,7 @@ func main() {
 		Payback: *payback, MigrationFactor: *migf,
 	}
 	if *server != "" {
-		if err := replayServer(*server, in, seq, cfg, *asJSON); err != nil {
+		if err := replayServer(*server, in, seq, cfg, *resume, *asJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -148,27 +159,47 @@ func printComparison(cmp stream.Comparison) {
 const serverBatch = 512
 
 // replayServer streams the trace into a netplaced session and reports
-// the server-side accounting.
-func replayServer(base string, in *core.Instance, seq []workload.Request, cfg stream.Config, asJSON bool) error {
+// the server-side accounting. With resume non-empty it continues an
+// existing session instead of opening one, skipping the trace prefix the
+// session already ingested (event batches are all-or-nothing, so the
+// session's event count is always a batch boundary of a prior replay).
+func replayServer(base string, in *core.Instance, seq []workload.Request, cfg stream.Config, resume string, asJSON bool) error {
 	ctx := context.Background()
 	c := service.NewClient(base, nil)
 	up, err := c.Upload(ctx, "netreplay", in)
 	if err != nil {
 		return err
 	}
-	sess, err := c.OpenSession(ctx, up.ID, service.SessionConfig{
-		Epoch: cfg.Epoch, Window: cfg.Window, Alpha: cfg.Alpha,
-		Horizon: cfg.Horizon, Payback: cfg.Payback, MigrationFactor: cfg.MigrationFactor,
-	})
-	if err != nil {
-		return err
+	var sess service.SessionInfo
+	done := 0
+	if resume != "" {
+		sess, err = c.Session(ctx, resume)
+		if err != nil {
+			return fmt.Errorf("looking up session %s to resume: %w", resume, err)
+		}
+		if sess.InstanceID != up.ID {
+			return fmt.Errorf("session %s streams instance %s, not this instance (%s)", resume, sess.InstanceID, up.ID)
+		}
+		done = sess.Stats.Events
+		if done > len(seq) {
+			return fmt.Errorf("session %s has already ingested %d events; the trace holds only %d", resume, done, len(seq))
+		}
+		fmt.Fprintf(os.Stderr, "netreplay: resuming session %s at event %d of %d\n", resume, done, len(seq))
+	} else {
+		sess, err = c.OpenSession(ctx, up.ID, service.SessionConfig{
+			Epoch: cfg.Epoch, Window: cfg.Window, Alpha: cfg.Alpha,
+			Horizon: cfg.Horizon, Payback: cfg.Payback, MigrationFactor: cfg.MigrationFactor,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	names := make([]string, len(in.Objects))
 	for i := range in.Objects {
 		names[i] = encode.ObjectName(&in.Objects[i], i)
 	}
 	var epochs []service.SessionEpochJSON
-	for start := 0; start < len(seq); start += serverBatch {
+	for start := done; start < len(seq); start += serverBatch {
 		end := start + serverBatch
 		if end > len(seq) {
 			end = len(seq)
@@ -179,7 +210,11 @@ func replayServer(base string, in *core.Instance, seq []workload.Request, cfg st
 		}
 		resp, err := c.SessionEvents(ctx, sess.SessionID, batch)
 		if err != nil {
-			return err
+			// Partial replay: name the failed batch and what the server had
+			// acknowledged, and point at the resume path — against a durable
+			// netplaced the session survives with exactly `start` events.
+			return fmt.Errorf("streaming events [%d,%d) of %d failed after %d acknowledged: %w (retry with -resume %s)",
+				start, end, len(seq), start, err, sess.SessionID)
 		}
 		epochs = append(epochs, resp.Epochs...)
 	}

@@ -226,6 +226,36 @@ func TestDocsCrossLinked(t *testing.T) {
 	}
 }
 
+// TestPersistenceDocs asserts the durability layer stays documented:
+// docs/persistence.md exists and covers the data-dir flag, the WAL, and
+// recovery; the HTTP API page links it (the /statz persistence fields
+// live there); and cmd/netplaced's doc comment mentions -data-dir.
+func TestPersistenceDocs(t *testing.T) {
+	page, err := os.ReadFile(filepath.Join("docs", "persistence.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-data-dir", "write-ahead", "wal_discarded_bytes", "recovered_sessions", "-no-sync"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("docs/persistence.md does not mention %q", want)
+		}
+	}
+	api, err := os.ReadFile(filepath.Join("docs", "http-api.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(api), "persistence.md") {
+		t.Error("docs/http-api.md does not link persistence.md")
+	}
+	cmd, err := os.ReadFile(filepath.Join("cmd", "netplaced", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cmd), "-data-dir") || !strings.Contains(string(cmd), "docs/persistence.md") {
+		t.Error("cmd/netplaced doc comment does not cover -data-dir / docs/persistence.md")
+	}
+}
+
 // receiverType extracts the receiver's type name from a method receiver
 // expression (*T, T, or generic T[...]).
 func receiverType(expr ast.Expr) string {

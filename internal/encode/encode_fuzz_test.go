@@ -1,0 +1,69 @@
+package encode
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// nodeCap bounds the node counts the instance fuzz target will build: the
+// wire format allocates O(nodes) adjacency up front, so a ten-digit
+// "nodes" field is a capacity question, not a parsing one.
+const nodeCap = 1 << 12
+
+// FuzzReadInstance: arbitrary bytes must never panic the instance
+// decoder, and every accepted instance must survive a write/read round
+// trip with its content hash — the service's registry identity — intact.
+func FuzzReadInstance(f *testing.F) {
+	seeds := []string{
+		"",
+		"{}",
+		"null",
+		`{"nodes":0}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"fee":1}],"storage":[1,1],"objects":[{"name":"a","reads":[1,0],"writes":[0,0]}]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"fee":1}],"storage":[1,1],"objects":[{"reads":[1,0],"writes":[0,1],"size":2.5}]}`,
+		`{"nodes":3,"edges":[{"u":0,"v":1,"fee":1},{"u":1,"v":2,"fee":0.5}],"storage":[1,2,3],"objects":[]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":0,"fee":1}]}`,  // self loop
+		`{"nodes":2,"edges":[{"u":0,"v":5,"fee":1}]}`,  // endpoint out of range
+		`{"nodes":2,"edges":[{"u":0,"v":1,"fee":-1}]}`, // negative fee
+		`{"nodes":2,"storage":[1]}`, // storage length mismatch
+		`{"nodes":2,"storage":[1,1],"objects":[{"reads":[1],"writes":[0,0]}]}`, // vector length mismatch
+		`{"nodes":2,"storage":[-1,1]}`,                                         // negative storage fee
+		`{"nodes":2,"storage":[1,1],"objects":[{"reads":[-1,0],"writes":[0,0]}]}`,
+		`{"nodes":1e9}`,
+		`{"nodes":2,"edges"`, // truncated
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Skip inputs whose declared node count is a pure allocation
+		// stress; everything structural still fuzzes below the cap.
+		var probe struct {
+			Nodes int `json:"nodes"`
+		}
+		if err := json.Unmarshal(data, &probe); err == nil && probe.Nodes > nodeCap {
+			t.Skip("node count beyond fuzz cap")
+		}
+		in, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		hash := HashInstance(in)
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("accepted instance failed to re-encode: %v", err)
+		}
+		back, err := ReadInstance(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded instance failed to parse: %v", err)
+		}
+		if got := HashInstance(back); got != hash {
+			t.Fatalf("content hash changed across round trip: %s -> %s", hash, got)
+		}
+		if back.N() != in.N() || len(back.Objects) != len(in.Objects) {
+			t.Fatalf("shape changed across round trip: %d/%d nodes, %d/%d objects",
+				back.N(), in.N(), len(back.Objects), len(in.Objects))
+		}
+	})
+}

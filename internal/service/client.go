@@ -53,9 +53,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		var e errorJSON
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		// Not the service's error envelope (a proxy page, a panic trace):
+		// surface the raw body rather than a bare status code.
+		if msg := strings.TrimSpace(string(raw)); msg != "" {
+			if len(msg) > 256 {
+				msg = msg[:256] + "..."
+			}
+			return fmt.Errorf("service: %s %s: HTTP %d: %s", method, path, resp.StatusCode, msg)
 		}
 		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
@@ -141,6 +150,15 @@ func (c *Client) OpenSession(ctx context.Context, instanceID string, cfg Session
 	var out SessionInfo
 	err := c.do(ctx, http.MethodPost, "/v1/sessions",
 		SessionRequest{InstanceID: instanceID, Config: cfg}, &out)
+	return out, err
+}
+
+// Session returns one session's record — configuration and cost
+// accounting so far. cmd/netreplay's resume path uses the event count to
+// skip the already-ingested trace prefix.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out)
 	return out, err
 }
 

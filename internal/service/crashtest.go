@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CrashHarness drives kill/restart cycles of a persistent server over
+// one data directory — the fault-injection half of the persistence
+// layer's test suite, exported so integration tests outside this package
+// (and future cluster tests) can reuse it.
+//
+// The lifecycle is Start → use the server → Kill → Start again; Kill is
+// a SIGKILL equivalent: it abandons every open WAL handle without
+// flushing application buffers, so anything the server acked (and
+// therefore fsynced) survives and anything buffered mid-request is
+// lost, exactly like a real crash. TruncateWAL additionally simulates a
+// torn final write by cutting the current WAL generation at an
+// arbitrary byte offset.
+type CrashHarness struct {
+	dir string
+	cfg Config
+	srv *Server
+}
+
+// NewCrashHarness prepares a harness over dir (created if missing).
+// cfg.DataDir is forced to dir; cfg.NoSync is honoured.
+func NewCrashHarness(dir string, cfg Config) *CrashHarness {
+	cfg.DataDir = dir
+	return &CrashHarness{dir: dir, cfg: cfg}
+}
+
+// Dir returns the harness's data directory.
+func (h *CrashHarness) Dir() string { return h.dir }
+
+// Start opens a server over the data directory, recovering whatever
+// state previous incarnations left behind.
+func (h *CrashHarness) Start() (*Server, error) {
+	if h.srv != nil {
+		return nil, fmt.Errorf("service: crash harness already has a live server; Kill it first")
+	}
+	srv, err := Open(h.cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.srv = srv
+	return srv, nil
+}
+
+// Server returns the live server, or nil between Kill and Start.
+func (h *CrashHarness) Server() *Server { return h.srv }
+
+// Kill crashes the live server: every session's WAL handle is closed
+// without flushing buffered writes and the server is discarded. No
+// snapshot, flush, or cleanup runs — durable state is exactly what the
+// server had already fsynced.
+func (h *CrashHarness) Kill() {
+	if h.srv == nil {
+		return
+	}
+	for _, sess := range h.srv.sessions.list() {
+		sess.mu.Lock()
+		if sess.log != nil {
+			sess.log.abandon()
+			sess.log = nil
+		}
+		sess.mu.Unlock()
+	}
+	h.srv = nil
+}
+
+// WALFile returns the path and current size of a session's live WAL
+// generation (the one the session's snapshot references). It reads the
+// on-disk snapshot, so it works on a killed harness too.
+func (h *CrashHarness) WALFile(sessionID string) (path string, size int64, err error) {
+	st := &store{dir: h.dir, noSync: h.cfg.NoSync}
+	snap, err := st.readSessionSnap(sessionID)
+	if err != nil {
+		return "", 0, err
+	}
+	path = st.sessionWALPath(sessionID, snap.WALSeq)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", 0, err
+	}
+	return path, fi.Size(), nil
+}
+
+// TruncateWAL cuts a session's live WAL generation to size bytes,
+// simulating a torn final write (a crash mid-write, a lost disk block).
+// Use on a killed harness before restarting.
+func (h *CrashHarness) TruncateWAL(sessionID string, size int64) error {
+	path, cur, err := h.WALFile(sessionID)
+	if err != nil {
+		return err
+	}
+	if size < 0 || size > cur {
+		return fmt.Errorf("service: truncate to %d outside [0,%d]", size, cur)
+	}
+	return os.Truncate(path, size)
+}
+
+// Clone copies the harness's data directory into dst (which must not
+// exist) and returns a harness over the copy — so one ingested history
+// can be crashed at many different offsets, each in its own sandbox.
+// Clone only a killed (or never-started) harness: a live server may be
+// mid-write.
+func (h *CrashHarness) Clone(dst string) (*CrashHarness, error) {
+	if h.srv != nil {
+		return nil, fmt.Errorf("service: clone of a live harness; Kill it first")
+	}
+	if err := copyTree(h.dir, dst); err != nil {
+		return nil, err
+	}
+	return NewCrashHarness(dst, h.cfg), nil
+}
+
+// copyTree recursively copies a directory of regular files.
+func copyTree(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := copyTree(s, d); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := copyFile(s, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

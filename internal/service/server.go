@@ -52,6 +52,7 @@ type Server struct {
 	counters counters
 	start    time.Time
 	mux      *http.ServeMux
+	store    *store // nil: in-memory server (New, or Open without DataDir)
 }
 
 // New assembles a server (registry, engine, routes) from a config.
@@ -79,6 +80,44 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
 	return s
+}
+
+// Open assembles a server like New and, when cfg.DataDir is set,
+// attaches the persistence layer: the data directory is created if
+// needed, previously snapshotted instances are reloaded, and every
+// durable session is rebuilt from its snapshot plus WAL replay — its
+// placements, accounting, and counters byte-identical to a server that
+// never stopped (see docs/persistence.md). Individually damaged files
+// are logged and skipped; only directory-level failures error.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	st, err := openStore(cfg.DataDir, cfg.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	if err := s.recoverState(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close flushes and closes every open session WAL. The server must not
+// be used afterwards; a server killed without Close loses nothing acked
+// (that is the recovery property the crash tests assert), Close merely
+// releases the file handles promptly.
+func (s *Server) Close() {
+	for _, sess := range s.sessions.list() {
+		sess.mu.Lock()
+		if sess.log != nil {
+			sess.log.close()
+			sess.log = nil
+		}
+		sess.mu.Unlock()
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -138,6 +177,10 @@ func (s *Server) Stats() Stats {
 		SessionEpochs:        s.counters.sessionEpochs.Load(),
 		SessionResolves:      s.counters.sessionResolves.Load(),
 		SessionMoves:         s.counters.sessionMoves.Load(),
+		Persistence:          s.store != nil,
+		PersistErrors:        s.counters.persistErrors.Load(),
+		RecoveredSessions:    s.counters.recoveredSessions.Load(),
+		WALDiscardedBytes:    s.counters.walDiscarded.Load(),
 	}
 }
 
@@ -211,6 +254,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, created := s.engine.registry.Add(req.Name, in)
+	if s.store != nil {
+		// Saved on every upload, not only creations: re-uploads refresh the
+		// label and retry a previously failed save. Identity is the content
+		// hash, so the snapshot's payload never changes for a given id.
+		if err := s.store.saveInstance(info.ID, info.Name, in); err != nil {
+			s.counters.persistErrors.Add(1)
+			writeError(w, fmt.Errorf("%w: persisting instance: %v", ErrInternal, err))
+			return
+		}
+	}
 	code := http.StatusOK
 	if created {
 		code = http.StatusCreated
@@ -232,9 +285,19 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.engine.registry.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.engine.registry.Delete(id) {
 		writeError(w, ErrNotFound)
 		return
+	}
+	if s.store != nil {
+		if err := s.store.deleteInstance(id); err != nil {
+			// Memory state is already correct; the stale snapshot would
+			// resurrect the instance on restart, so surface it loudly.
+			s.counters.persistErrors.Add(1)
+			writeError(w, fmt.Errorf("%w: deleting instance snapshot: %v", ErrInternal, err))
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -287,11 +287,11 @@ func TestServerRejectsBadInput(t *testing.T) {
 }
 
 func TestSolveTimeoutCancelsOptimal(t *testing.T) {
-	// A 16-node optimal solve takes far longer than 1ms; the configured
-	// timeout must cancel it and surface an error.
+	// A 24-node optimal solve takes far longer than 1ms on any hardware;
+	// the configured timeout must cancel it and surface an error.
 	_, c := newTestServer(t, Config{SolveTimeout: time.Millisecond})
 	ctx := context.Background()
-	up, err := c.Upload(ctx, "slow", pathInstance(t, 16, 5))
+	up, err := c.Upload(ctx, "slow", pathInstance(t, 24, 5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,15 @@ type Config struct {
 	// its instance and holds estimator state). 0 selects
 	// DefaultMaxSessions.
 	MaxSessions int
+	// DataDir, when non-empty, persists instances and sessions under this
+	// directory and recovers them at startup: instances are snapshotted at
+	// registration, sessions as snapshot + event WAL (see
+	// docs/persistence.md). Only honoured by Open; New always builds an
+	// in-memory server.
+	DataDir string
+	// NoSync skips the fsyncs on the persistence path. Throughput goes up;
+	// an OS crash (not a mere process crash) can lose acked events.
+	NoSync bool
 }
 
 // Defaults applied by New for zero Config fields.
@@ -147,6 +156,10 @@ type counters struct {
 	sessionEpochs   atomic.Int64 // epochs closed across sessions
 	sessionResolves atomic.Int64 // objects re-solved at session epoch closes
 	sessionMoves    atomic.Int64 // per-object moves adopted by sessions
+
+	persistErrors     atomic.Int64 // failed persistence operations (logged, mostly non-fatal)
+	recoveredSessions atomic.Int64 // sessions rebuilt from snapshot+WAL at startup
+	walDiscarded      atomic.Int64 // torn WAL tail bytes discarded at recovery
 }
 
 // Stats is a point-in-time snapshot of the service, rendered by /statz.
@@ -216,4 +229,13 @@ type Stats struct {
 	SessionEpochs   int64 `json:"session_epochs"`
 	SessionResolves int64 `json:"session_resolves"`
 	SessionMoves    int64 `json:"session_moves"`
+	// Persistence reports whether a data directory is attached (servers
+	// built by Open with Config.DataDir). PersistErrors counts failed
+	// persistence operations, RecoveredSessions the sessions rebuilt from
+	// snapshot + WAL at the last startup, and WALDiscardedBytes the torn
+	// WAL tail bytes recovery discarded (see docs/persistence.md).
+	Persistence       bool  `json:"persistence"`
+	PersistErrors     int64 `json:"persist_errors"`
+	RecoveredSessions int64 `json:"recovered_sessions"`
+	WALDiscardedBytes int64 `json:"wal_discarded_bytes"`
 }

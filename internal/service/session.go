@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 
@@ -78,6 +80,7 @@ type Session struct {
 	instance *core.Instance
 	objIndex map[string]int  // wire object name → index, immutable
 	reqCtx   context.Context // current request's context; only touched under mu
+	log      *sessionLog     // nil: server has no data dir
 }
 
 // SessionRequest is the body of POST /v1/sessions.
@@ -201,6 +204,41 @@ func (t *sessions) add(s *Session, cap int) error {
 	return nil
 }
 
+// restore re-registers a recovered session under its original id,
+// bumping the id counter past it so new sessions never collide with
+// recovered ones. Recovery bypasses the MaxSessions cap: the sessions
+// were already admitted before the restart.
+func (t *sessions) restore(s *Session) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*Session)
+	}
+	if _, ok := t.m[s.ID]; ok {
+		return fmt.Errorf("service: duplicate session id %s", s.ID)
+	}
+	t.m[s.ID] = s
+	t.bumpLocked(s.ID)
+	return nil
+}
+
+// reserve bumps the id counter past an on-disk session id that could
+// not be recovered, so its leftover files are never clobbered by a new
+// session minted under the same id.
+func (t *sessions) reserve(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked(id)
+}
+
+// bumpLocked advances next past a recovered id. Called with t.mu held.
+func (t *sessions) bumpLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "s-%x", &n); err == nil && n > t.next {
+		t.next = n
+	}
+}
+
 func (t *sessions) get(id string) (*Session, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -268,13 +306,37 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		instance:   in,
 		objIndex:   stream.ObjectIndex(in),
 	}
-	// Epoch re-solves run under the engine's worker-pool semaphore, so
-	// sessions compete with ordinary solves for the configured slots
-	// instead of bypassing them. The wait is cancellable by the current
-	// request's context: a client gone mid-epoch skips the re-placement
-	// (the engine retries at the next epoch close) instead of holding the
-	// session lock until a slot frees up.
-	cfg.SolveGate = func(solve func()) {
+	cfg.SolveGate = s.sessionGate(sess)
+	sess.engine = stream.New(in, cfg)
+	if err := s.sessions.add(sess, s.cfg.MaxSessions); err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.store != nil {
+		l, err := s.persistNewSession(sess, req.Config)
+		if err != nil {
+			// Roll the open back: an unacked session must not linger
+			// half-persisted in memory or on disk.
+			s.sessions.delete(sess.ID)
+			s.store.removeSessionFiles(sess.ID)
+			s.counters.persistErrors.Add(1)
+			writeError(w, fmt.Errorf("%w: persisting session: %v", ErrInternal, err))
+			return
+		}
+		sess.log = l
+	}
+	s.counters.sessionsOpened.Add(1)
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+// sessionGate wraps a session's epoch re-solves in the engine's
+// worker-pool semaphore, so sessions compete with ordinary solves for
+// the configured slots instead of bypassing them. The wait is
+// cancellable by the current request's context: a client gone mid-epoch
+// skips the re-placement (the engine retries at the next epoch close)
+// instead of holding the session lock until a slot frees up.
+func (s *Server) sessionGate(sess *Session) func(solve func()) {
+	return func(solve func()) {
 		ctx := sess.reqCtx // gate runs under sess.mu, where reqCtx is set
 		if ctx == nil {
 			ctx = context.Background()
@@ -291,13 +353,6 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		}()
 		solve()
 	}
-	sess.engine = stream.New(in, cfg)
-	if err := s.sessions.add(sess, s.cfg.MaxSessions); err != nil {
-		writeError(w, err)
-		return
-	}
-	s.counters.sessionsOpened.Add(1)
-	writeJSON(w, http.StatusCreated, sess.info())
 }
 
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
@@ -318,10 +373,23 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.delete(r.PathValue("id")) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok || !s.sessions.delete(sess.ID) {
+		// The second check loses a race against a concurrent DELETE of the
+		// same id; exactly one of the two removes the files below.
 		writeError(w, ErrNotFound)
 		return
 	}
+	// Take the session lock so an in-flight ingest finishes before the
+	// files go away; new requests can no longer find the session.
+	sess.mu.Lock()
+	if sess.log != nil {
+		if err := sess.log.remove(); err != nil {
+			s.counters.persistErrors.Add(1)
+		}
+		sess.log = nil
+	}
+	sess.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -382,6 +450,37 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if sess.log != nil {
+		// Journal the expanded batch and make it durable BEFORE the first
+		// Observe: an acked batch can always be replayed, and a crash
+		// between sync and apply just replays the full WAL to the same
+		// state (the client never saw an ack, and ingestion stays
+		// all-or-nothing either way). Count lines are expanded to one
+		// event per line so a torn tail costs at most one event's bytes.
+		lines := make([][]byte, 0, total)
+		for i, ev := range req.Events {
+			line, err := json.Marshal(stream.EventJSON{Obj: ev.Obj, Node: ev.Node, Write: ev.Write})
+			if err != nil {
+				writeError(w, fmt.Errorf("%w: events[%d]: %v", ErrInternal, i, err))
+				return
+			}
+			line = append(line, '\n')
+			count := ev.Count
+			if count <= 0 {
+				count = 1
+			}
+			for k := 0; k < count; k++ {
+				lines = append(lines, line)
+			}
+		}
+		if err := sess.log.append(lines); err != nil {
+			// The log rolled itself back to the durable prefix; the engine
+			// never saw the batch, so memory and disk still agree.
+			s.counters.persistErrors.Add(1)
+			writeError(w, fmt.Errorf("%w: %v", ErrInternal, err))
+			return
+		}
+	}
 	resp := SessionEventsResponse{}
 	for i, ev := range req.Events {
 		count := ev.Count
@@ -400,6 +499,16 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			if rep != nil {
 				resp.Epochs = append(resp.Epochs, s.recordEpoch(rep))
 			}
+		}
+	}
+	if sess.log != nil && len(resp.Epochs) > 0 {
+		// Epoch boundary: snapshot the engine state and truncate the log
+		// (rotate to a fresh generation). Failure is benign for
+		// correctness — the old snapshot plus the intact WAL still replays
+		// to exactly this state — so the batch is still acked.
+		if err := sess.log.rotate(sess.engine.State()); err != nil {
+			s.counters.persistErrors.Add(1)
+			log.Printf("service: session %s: %v", sess.ID, err)
 		}
 	}
 	resp.Stats = sessionStats(sess.engine.Stats())
@@ -436,6 +545,19 @@ func (s *Server) handleSessionFlush(w http.ResponseWriter, r *http.Request) {
 	resp := SessionEventsResponse{}
 	if rep := sess.engine.Flush(); rep != nil {
 		resp.Epochs = append(resp.Epochs, s.recordEpoch(rep))
+	}
+	if sess.log != nil {
+		// A flush is the one state change the WAL does not record (it
+		// closes a partial epoch without an event), so its durability IS
+		// the snapshot rotation: on failure the flush is reported
+		// not-durable and the client may retry. Rotation runs even when
+		// the epoch was already empty, so a retry re-attempts exactly the
+		// failed checkpoint.
+		if err := sess.log.rotate(sess.engine.State()); err != nil {
+			s.counters.persistErrors.Add(1)
+			writeError(w, fmt.Errorf("%w: flush not durable: %v", ErrInternal, err))
+			return
+		}
 	}
 	resp.Stats = sessionStats(sess.engine.Stats())
 	writeJSON(w, http.StatusOK, resp)

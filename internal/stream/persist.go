@@ -1,0 +1,314 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+
+	"netplace/internal/core"
+)
+
+// EngineStateVersion is the format version stamped into every captured
+// EngineState; Restore rejects states written by an incompatible version.
+const EngineStateVersion = 1
+
+// ObjectState is one object's live placement bookkeeping inside an
+// EngineState: the current copy set, the quantised estimate vector of the
+// last completed re-solve, and the first-touch seeding flag.
+type ObjectState struct {
+	// Copies is the current copy set, sorted ascending; null when the
+	// object has never been seeded or solved.
+	Copies []int `json:"copies"`
+	// Solved is the quantised fr+fw estimate vector of the last re-solve
+	// (null before the first), SolvedW the matching write total.
+	Solved  []int64 `json:"solved"`
+	SolvedW int64   `json:"solved_w"`
+	// Seeded reports whether the object has materialised (first-touch or
+	// first solve) and therefore accrues storage rent.
+	Seeded bool `json:"seeded"`
+}
+
+// EstimatorState is the frequency estimator's complete serialisable
+// state. Exactly one of the ring (sliding window) and EWMA field groups
+// is populated, matching the configuration the estimator ran under.
+type EstimatorState struct {
+	// Epochs is the number of closed epochs.
+	Epochs int `json:"epochs"`
+	// CurR / CurW are the open epoch's per-object, per-node counts.
+	CurR [][]int64 `json:"cur_r"`
+	CurW [][]int64 `json:"cur_w"`
+	// Sliding-window mode: the ring of closed-epoch count matrices with
+	// their event totals, the ring cursor, and the maintained window sums.
+	RingR      [][][]int64 `json:"ring_r,omitempty"`
+	RingW      [][][]int64 `json:"ring_w,omitempty"`
+	RingEvents []int       `json:"ring_events,omitempty"`
+	RingPos    int         `json:"ring_pos,omitempty"`
+	RingLen    int         `json:"ring_len,omitempty"`
+	SumR       [][]int64   `json:"sum_r,omitempty"`
+	SumW       [][]int64   `json:"sum_w,omitempty"`
+	SumEvents  int         `json:"sum_events,omitempty"`
+	// EWMA mode: the exponential count averages, the average epoch size,
+	// and the first-epoch seeding flag.
+	EwmaR      [][]float64 `json:"ewma_r,omitempty"`
+	EwmaW      [][]float64 `json:"ewma_w,omitempty"`
+	EwmaEvents float64     `json:"ewma_events,omitempty"`
+	EwmaInit   bool        `json:"ewma_init,omitempty"`
+	// RateR / RateW are the exposed per-event rates as of the last epoch
+	// close. They are derivable from the mode state, but carrying the
+	// exact floats keeps a restored engine bit-identical without
+	// re-deriving.
+	RateR [][]float64 `json:"rate_r"`
+	RateW [][]float64 `json:"rate_w"`
+}
+
+// EngineState is a complete, JSON-serialisable snapshot of a streaming
+// Engine, capturable at any point — mid-epoch included. Restoring it over
+// the same instance and configuration yields an engine whose every future
+// output (placements, accounting, reports) is byte-identical to the
+// original's: all floats survive the JSON round trip exactly (Go emits
+// the shortest representation that parses back to the same bits), and the
+// engine itself is deterministic. It is the snapshot half of the
+// service's session durability (snapshot + event WAL).
+type EngineState struct {
+	// Version is EngineStateVersion at capture time.
+	Version int `json:"version"`
+	// Objects carries per-object placement and estimate bookkeeping.
+	Objects []ObjectState `json:"objects"`
+	// Stats is the run accounting so far (storage un-normalised, exactly
+	// as accrued).
+	Stats Stats `json:"stats"`
+	// Report is the open epoch's accumulating report and Fill its event
+	// count so far.
+	Report EpochReport `json:"report"`
+	Fill   int         `json:"fill"`
+	// FeePerStep is the storage fee the live copy sets accrue per
+	// event-step. Derivable from Objects, but the engine maintains it
+	// incrementally, so the exact float is carried to preserve
+	// bit-identical future accrual.
+	FeePerStep float64 `json:"fee_per_step"`
+	// Estimator is the frequency estimator's state.
+	Estimator EstimatorState `json:"estimator"`
+}
+
+// State captures the engine's complete current state as a deep copy: the
+// engine may keep observing events without invalidating the snapshot.
+func (e *Engine) State() *EngineState {
+	st := &EngineState{
+		Version:    EngineStateVersion,
+		Objects:    make([]ObjectState, len(e.objs)),
+		Stats:      e.stats,
+		Report:     e.report,
+		Fill:       e.fill,
+		FeePerStep: e.feePerStep,
+	}
+	for i := range e.objs {
+		o := &e.objs[i]
+		st.Objects[i] = ObjectState{
+			Copies:  slices.Clone(o.copies),
+			Solved:  slices.Clone(o.solved),
+			SolvedW: o.solvedW,
+			Seeded:  o.seeded,
+		}
+	}
+	es := e.est
+	st.Estimator = EstimatorState{
+		Epochs: es.epochs,
+		CurR:   clone2i(es.curR),
+		CurW:   clone2i(es.curW),
+		RateR:  clone2f(es.rateR),
+		RateW:  clone2f(es.rateW),
+	}
+	if es.alpha > 0 {
+		st.Estimator.EwmaR = clone2f(es.ewmaR)
+		st.Estimator.EwmaW = clone2f(es.ewmaW)
+		st.Estimator.EwmaEvents = es.ewmaEvents
+		st.Estimator.EwmaInit = es.ewmaInit
+	} else {
+		st.Estimator.RingR = clone3i(es.ringR)
+		st.Estimator.RingW = clone3i(es.ringW)
+		st.Estimator.RingEvents = slices.Clone(es.ringEvents)
+		st.Estimator.RingPos = es.ringPos
+		st.Estimator.RingLen = es.ringLen
+		st.Estimator.SumR = clone2i(es.sumR)
+		st.Estimator.SumW = clone2i(es.sumW)
+		st.Estimator.SumEvents = es.sumEvents
+	}
+	return st
+}
+
+// Restore builds an engine over in under cfg and installs a previously
+// captured state, deep-copied so the caller's EngineState stays intact.
+// The instance and configuration must match the ones the state was
+// captured under (Restore validates shapes, not provenance): feeding the
+// restored engine the events the original saw after the capture
+// reproduces the original's placements and accounting byte for byte.
+func Restore(in *core.Instance, cfg Config, st *EngineState) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("stream: restore: nil state")
+	}
+	if st.Version != EngineStateVersion {
+		return nil, fmt.Errorf("stream: restore: state version %d, want %d", st.Version, EngineStateVersion)
+	}
+	e := New(in, cfg)
+	n := in.N()
+	if len(st.Objects) != len(e.objs) {
+		return nil, fmt.Errorf("stream: restore: state has %d objects, instance %d", len(st.Objects), len(e.objs))
+	}
+	if st.Fill < 0 || st.Fill >= e.cfg.Epoch {
+		return nil, fmt.Errorf("stream: restore: fill %d outside [0,%d)", st.Fill, e.cfg.Epoch)
+	}
+	for i := range st.Objects {
+		o := &st.Objects[i]
+		if !slices.IsSorted(o.Copies) {
+			return nil, fmt.Errorf("stream: restore: object %d copy set not sorted", i)
+		}
+		for _, c := range o.Copies {
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("stream: restore: object %d copy node %d out of range [0,%d)", i, c, n)
+			}
+		}
+		if o.Solved != nil && len(o.Solved) != n {
+			return nil, fmt.Errorf("stream: restore: object %d solved vector length %d, want %d", i, len(o.Solved), n)
+		}
+		e.objs[i] = objState{
+			copies:  slices.Clone(o.Copies),
+			solved:  slices.Clone(o.Solved),
+			solvedW: o.SolvedW,
+			seeded:  o.Seeded,
+		}
+	}
+	e.stats = st.Stats
+	e.report = st.Report
+	e.fill = st.Fill
+	e.feePerStep = st.FeePerStep
+	if err := restoreEstimator(e.est, &st.Estimator, len(e.objs), n); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// restoreEstimator copies serialised estimator state into a freshly built
+// estimator, validating every matrix shape against (nobj, n) and the
+// estimator's own mode and window.
+func restoreEstimator(es *Estimator, st *EstimatorState, nobj, n int) error {
+	if st.Epochs < 0 {
+		return fmt.Errorf("stream: restore: negative epoch count %d", st.Epochs)
+	}
+	es.epochs = st.Epochs
+	if err := copy2i(es.curR, st.CurR, nobj, n, "cur_r"); err != nil {
+		return err
+	}
+	if err := copy2i(es.curW, st.CurW, nobj, n, "cur_w"); err != nil {
+		return err
+	}
+	if err := copy2f(es.rateR, st.RateR, nobj, n, "rate_r"); err != nil {
+		return err
+	}
+	if err := copy2f(es.rateW, st.RateW, nobj, n, "rate_w"); err != nil {
+		return err
+	}
+	if es.alpha > 0 {
+		if st.RingR != nil || st.SumR != nil {
+			return fmt.Errorf("stream: restore: window state in an EWMA session")
+		}
+		if err := copy2f(es.ewmaR, st.EwmaR, nobj, n, "ewma_r"); err != nil {
+			return err
+		}
+		if err := copy2f(es.ewmaW, st.EwmaW, nobj, n, "ewma_w"); err != nil {
+			return err
+		}
+		es.ewmaEvents = st.EwmaEvents
+		es.ewmaInit = st.EwmaInit
+		return nil
+	}
+	if st.EwmaR != nil || st.EwmaW != nil {
+		return fmt.Errorf("stream: restore: EWMA state in a sliding-window session")
+	}
+	if len(st.RingR) != es.window || len(st.RingW) != es.window || len(st.RingEvents) != es.window {
+		return fmt.Errorf("stream: restore: ring of %d/%d/%d epochs, window %d",
+			len(st.RingR), len(st.RingW), len(st.RingEvents), es.window)
+	}
+	if st.RingPos < 0 || st.RingPos >= es.window || st.RingLen < 0 || st.RingLen > es.window {
+		return fmt.Errorf("stream: restore: ring cursor %d/%d outside window %d", st.RingPos, st.RingLen, es.window)
+	}
+	for k := 0; k < es.window; k++ {
+		if err := copy2i(es.ringR[k], st.RingR[k], nobj, n, fmt.Sprintf("ring_r[%d]", k)); err != nil {
+			return err
+		}
+		if err := copy2i(es.ringW[k], st.RingW[k], nobj, n, fmt.Sprintf("ring_w[%d]", k)); err != nil {
+			return err
+		}
+	}
+	copy(es.ringEvents, st.RingEvents)
+	es.ringPos = st.RingPos
+	es.ringLen = st.RingLen
+	if err := copy2i(es.sumR, st.SumR, nobj, n, "sum_r"); err != nil {
+		return err
+	}
+	if err := copy2i(es.sumW, st.SumW, nobj, n, "sum_w"); err != nil {
+		return err
+	}
+	es.sumEvents = st.SumEvents
+	return nil
+}
+
+// clone2i / clone2f / clone3i deep-copy the estimator's nested matrices.
+func clone2i(m [][]int64) [][]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]int64, len(m))
+	for i := range m {
+		out[i] = slices.Clone(m[i])
+	}
+	return out
+}
+
+func clone2f(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = slices.Clone(m[i])
+	}
+	return out
+}
+
+func clone3i(m [][][]int64) [][][]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][][]int64, len(m))
+	for i := range m {
+		out[i] = clone2i(m[i])
+	}
+	return out
+}
+
+// copy2i / copy2f copy a serialised matrix into a pre-shaped destination,
+// validating its dimensions.
+func copy2i(dst [][]int64, src [][]int64, nobj, n int, name string) error {
+	if len(src) != nobj {
+		return fmt.Errorf("stream: restore: %s has %d objects, want %d", name, len(src), nobj)
+	}
+	for i := range src {
+		if len(src[i]) != n {
+			return fmt.Errorf("stream: restore: %s[%d] has %d nodes, want %d", name, i, len(src[i]), n)
+		}
+		copy(dst[i], src[i])
+	}
+	return nil
+}
+
+func copy2f(dst [][]float64, src [][]float64, nobj, n int, name string) error {
+	if len(src) != nobj {
+		return fmt.Errorf("stream: restore: %s has %d objects, want %d", name, len(src), nobj)
+	}
+	for i := range src {
+		if len(src[i]) != n {
+			return fmt.Errorf("stream: restore: %s[%d] has %d nodes, want %d", name, i, len(src[i]), n)
+		}
+		copy(dst[i], src[i])
+	}
+	return nil
+}

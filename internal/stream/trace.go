@@ -34,6 +34,38 @@ func ObjectIndex(in *core.Instance) map[string]int {
 	return idx
 }
 
+// decodeEventLine parses one trimmed trace/WAL line into its wire form,
+// rejecting unknown fields and trailing garbage after the JSON object.
+func decodeEventLine(text string) (EventJSON, error) {
+	var ev EventJSON
+	dec := json.NewDecoder(strings.NewReader(text))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ev); err != nil {
+		return EventJSON{}, err
+	}
+	if dec.More() {
+		return EventJSON{}, fmt.Errorf("trailing data after event")
+	}
+	return ev, nil
+}
+
+// resolveEvent validates a wire event against an instance and returns the
+// resolved request plus its expansion count (Count 0 means 1).
+func resolveEvent(ev EventJSON, idx map[string]int, n int) (workload.Request, int, error) {
+	oi, ok := idx[ev.Obj]
+	if !ok {
+		return workload.Request{}, 0, fmt.Errorf("unknown object %q", ev.Obj)
+	}
+	if ev.Node < 0 || ev.Node >= n {
+		return workload.Request{}, 0, fmt.Errorf("node %d out of range [0,%d)", ev.Node, n)
+	}
+	count := ev.Count
+	if count <= 0 {
+		count = 1
+	}
+	return workload.Request{Obj: oi, V: ev.Node, Write: ev.Write}, count, nil
+}
+
 // ReadTrace parses a JSONL request trace against an instance, resolving
 // object names and validating node ids. Blank lines and lines starting
 // with '#' are skipped, so traces can carry comments.
@@ -49,31 +81,62 @@ func ReadTrace(r io.Reader, in *core.Instance) ([]workload.Request, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var ev EventJSON
-		dec := json.NewDecoder(strings.NewReader(text))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&ev); err != nil {
+		ev, err := decodeEventLine(text)
+		if err != nil {
 			return nil, fmt.Errorf("stream: trace line %d: %w", line, err)
 		}
-		oi, ok := idx[ev.Obj]
-		if !ok {
-			return nil, fmt.Errorf("stream: trace line %d: unknown object %q", line, ev.Obj)
-		}
-		if ev.Node < 0 || ev.Node >= in.N() {
-			return nil, fmt.Errorf("stream: trace line %d: node %d out of range [0,%d)", line, ev.Node, in.N())
-		}
-		count := ev.Count
-		if count <= 0 {
-			count = 1
+		req, count, err := resolveEvent(ev, idx, in.N())
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %w", line, err)
 		}
 		for k := 0; k < count; k++ {
-			seq = append(seq, workload.Request{Obj: oi, V: ev.Node, Write: ev.Write})
+			seq = append(seq, req)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("stream: reading trace: %w", err)
 	}
 	return seq, nil
+}
+
+// DecodeWAL parses a session write-ahead log — the same JSONL event
+// format ReadTrace consumes — but tolerates a torn tail instead of
+// failing on it: it returns the events of the longest valid prefix and
+// that prefix's byte length. A prefix line is valid when it is
+// newline-terminated and parses and validates cleanly (blank and '#'
+// comment lines count as valid padding); the first torn, malformed, or
+// unresolvable line ends the prefix, and everything from it on is
+// excluded from both return values so the caller can truncate the file
+// there and log the discarded tail. The error is non-nil only for I/O
+// failures of r itself, never for content.
+func DecodeWAL(r io.Reader, in *core.Instance) (seq []workload.Request, valid int64, err error) {
+	idx := ObjectIndex(in)
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == io.EOF {
+			// A final chunk without its newline is a torn write: exclude it.
+			return seq, valid, nil
+		}
+		if rerr != nil {
+			return seq, valid, fmt.Errorf("stream: reading wal: %w", rerr)
+		}
+		text := strings.TrimSpace(line)
+		if text != "" && !strings.HasPrefix(text, "#") {
+			ev, err := decodeEventLine(text)
+			if err != nil {
+				return seq, valid, nil
+			}
+			req, count, err := resolveEvent(ev, idx, in.N())
+			if err != nil {
+				return seq, valid, nil
+			}
+			for k := 0; k < count; k++ {
+				seq = append(seq, req)
+			}
+		}
+		valid += int64(len(line))
+	}
 }
 
 // WriteTrace serialises a request sequence as JSONL, one event per line,

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"netplace/internal/core"
+	"netplace/internal/graph"
+)
+
+// fuzzInstance returns a small fixed instance shared by the fuzz targets:
+// a 6-node path with one named and one unnamed object (so both wire-name
+// forms resolve).
+var fuzzInstance = sync.OnceValue(func() *core.Instance {
+	const n = 6
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(v, v+1, 1)
+	}
+	storage := make([]float64, n)
+	reads := func(v int) []int64 {
+		r := make([]int64, n)
+		r[v] = 4
+		return r
+	}
+	for v := range storage {
+		storage[v] = 2
+	}
+	objs := []core.Object{
+		{Name: "obj", Reads: reads(0), Writes: make([]int64, n)},
+		{Reads: reads(n - 1), Writes: make([]int64, n)}, // wire name object-1
+	}
+	return core.MustInstance(g, storage, objs)
+})
+
+// boundedCounts reports whether every parseable event line in data keeps
+// its expansion count small. The decoders expand Count into that many
+// events, so the fuzz harness skips inputs that would legitimately
+// allocate huge sequences — that is capacity, not a parsing bug.
+func boundedCounts(data []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if ev, err := decodeEventLine(text); err == nil && ev.Count > 1<<16 {
+			return false
+		}
+	}
+	return sc.Err() == nil
+}
+
+// addTraceSeeds registers the shared seed inputs for both decoder fuzz
+// targets; the checked-in corpora under testdata/fuzz extend them.
+func addTraceSeeds(f *testing.F) {
+	seeds := []string{
+		"",
+		"{\"obj\":\"obj\",\"node\":1}\n",
+		"{\"obj\":\"obj\",\"node\":1}\n{\"obj\":\"object-1\",\"node\":5,\"write\":true}\n",
+		"{\"obj\":\"obj\",\"node\":2,\"count\":3}\n",
+		"# comment\n\n{\"obj\":\"obj\",\"node\":0}\n",
+		"{\"obj\":\"obj\",\"node\":1}\n{\"obj\":\"obj\",\"nod",         // torn tail
+		"{\"obj\":\"obj\",\"node\":1}\n{\"obj\":\"obj\",\"node\":1}\n", // duplicated line
+		"{\"obj\":\"nope\",\"node\":0}\n",
+		"{\"obj\":\"obj\",\"node\":99}\n",
+		"{\"obj\":\"obj\",\"node\":1,\"bogus\":true}\n",
+		"{\"obj\":\"obj\",\"node\":1} trailing\n",
+		"{garbage\n",
+		"null\n",
+		"[]\n",
+		"{\"obj\":\"obj\",\"node\":-1}\n",
+		"{\"obj\":\"obj\",\"node\":1,\"count\":-5}\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzReadTrace: arbitrary bytes must never panic the trace reader, and
+// every accepted trace must survive a write/read round trip.
+func FuzzReadTrace(f *testing.F) {
+	addTraceSeeds(f)
+	in := fuzzInstance()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !boundedCounts(data) {
+			t.Skip("unbounded count expansion")
+		}
+		seq, err := ReadTrace(bytes.NewReader(data), in)
+		if err != nil {
+			return
+		}
+		for _, r := range seq {
+			if r.Obj < 0 || r.Obj >= len(in.Objects) || r.V < 0 || r.V >= in.N() {
+				t.Fatalf("accepted out-of-range event %+v", r)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, in, seq); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := ReadTrace(bytes.NewReader(buf.Bytes()), in)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(seq, back) {
+			t.Fatalf("trace round trip diverged: %d vs %d events", len(seq), len(back))
+		}
+	})
+}
+
+// FuzzDecodeWAL: arbitrary bytes must never panic the WAL decoder or
+// yield an error (content problems end the prefix instead), the valid
+// prefix must be bounded by the input, and re-decoding exactly that
+// prefix must reproduce the result — the property WAL truncation after a
+// torn write relies on.
+func FuzzDecodeWAL(f *testing.F) {
+	addTraceSeeds(f)
+	in := fuzzInstance()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !boundedCounts(data) {
+			t.Skip("unbounded count expansion")
+		}
+		seq, valid, err := DecodeWAL(bytes.NewReader(data), in)
+		if err != nil {
+			t.Fatalf("in-memory decode returned I/O error: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0,%d]", valid, len(data))
+		}
+		if valid > 0 && data[valid-1] != '\n' {
+			t.Fatalf("valid prefix of %d bytes not newline-terminated", valid)
+		}
+		for _, r := range seq {
+			if r.Obj < 0 || r.Obj >= len(in.Objects) || r.V < 0 || r.V >= in.N() {
+				t.Fatalf("decoded out-of-range event %+v", r)
+			}
+		}
+		seq2, valid2, err := DecodeWAL(bytes.NewReader(data[:valid]), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if valid2 != valid || !reflect.DeepEqual(seq, seq2) {
+			t.Fatalf("prefix re-decode diverged: %d/%d bytes, %d/%d events",
+				valid2, valid, len(seq2), len(seq))
+		}
+		// The prefix must also be a valid strict trace: DecodeWAL accepts
+		// exactly what ReadTrace would, up to the tear.
+		seq3, err := ReadTrace(bytes.NewReader(data[:valid]), in)
+		if err != nil {
+			t.Fatalf("valid WAL prefix rejected by ReadTrace: %v", err)
+		}
+		if !reflect.DeepEqual(seq, seq3) {
+			t.Fatalf("WAL prefix decode disagrees with ReadTrace: %d vs %d events", len(seq), len(seq3))
+		}
+	})
+}
