@@ -8,7 +8,8 @@
 //
 //	netplaced [-addr :8723] [-mem-budget bytes] [-cache entries]
 //	          [-workers n] [-parallel n] [-solve-timeout 5m]
-//	          [-data-dir dir] [-no-sync]
+//	          [-max-queue n] [-data-dir dir] [-no-sync]
+//	          [-fsync-interval 0]
 //
 // With -data-dir the server is durable: uploaded instances are
 // snapshotted at registration and every streaming session keeps a
@@ -17,7 +18,24 @@
 // state every acknowledged request left them in — see
 // docs/persistence.md. -no-sync trades fsync durability against an OS
 // crash for ingest throughput; a plain process crash still loses
-// nothing. Without -data-dir the server is purely in-memory.
+// nothing. -fsync-interval is the middle ground: group-commit, fsyncing
+// the session WAL at most once per interval (0, the default, fsyncs
+// every append), bounding what an OS crash can lose to one interval of
+// acked events — a loss the durable sequence watermark lets sequenced
+// clients detect and replay exactly once. Without -data-dir the server
+// is purely in-memory.
+//
+// The server is overload-resilient: -max-queue bounds how many solve
+// and what-if requests may wait for a worker (default 256, negative
+// unbounded); excess requests are shed immediately with 429 and a
+// Retry-After hint instead of queueing without bound. Clients can
+// propagate budgets via the X-Netplace-Deadline header and opt into
+// degraded stale reads under overload with X-Netplace-Allow-Stale.
+// GET /readyz answers 503 from the moment shutdown begins, so load
+// balancers rotate the instance out while in-flight work completes; on
+// SIGTERM the server drains — after in-flight requests finish, every
+// live session is snapshotted so the next start recovers with zero WAL
+// replay. See docs/resilience.md.
 //
 // -workers bounds how many solver runs execute at once; -parallel sets
 // the default intra-solve parallelism of each run (how many goroutines
@@ -50,6 +68,7 @@
 //	POST   /v1/sessions/{id}/flush    close the open partial epoch
 //	GET    /v1/sessions/{id}/placement  current adaptive placement
 //	GET    /healthz                   liveness
+//	GET    /readyz                    readiness (503 while recovering or draining)
 //	GET    /statz                     cache/solve/eviction/incremental/session statistics
 //
 // With -pprof the profiling endpoints are mounted as well:
@@ -96,6 +115,8 @@ func main() {
 		withPprof = flag.Bool("pprof", false, "expose /debug/pprof and /debug/memz profiling endpoints")
 		dataDir   = flag.String("data-dir", "", "persist instances and sessions under this directory and recover them at startup (empty: in-memory)")
 		noSync    = flag.Bool("no-sync", false, "skip fsyncs on the persistence path (faster; an OS crash can lose acked events)")
+		maxQueue  = flag.Int("max-queue", 0, "max solve/what-if requests waiting for a worker before shedding with 429 (0: default 256, <0: unbounded)")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window: fsync session WALs at most once per interval (0: every append)")
 	)
 	flag.Parse()
 
@@ -110,6 +131,8 @@ func main() {
 		DisableIncremental: *noIncr,
 		DataDir:            *dataDir,
 		NoSync:             *noSync,
+		MaxSolveQueue:      *maxQueue,
+		FsyncInterval:      *fsyncIvl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netplaced:", err)
@@ -155,13 +178,22 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("netplaced shutting down")
+		log.Printf("netplaced draining")
+		// Flip /readyz to 503 first so load balancers stop sending work,
+		// then let in-flight requests finish, then snapshot every live
+		// session so the next start recovers with zero WAL replay.
+		srv.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "netplaced: shutdown:", err)
 			os.Exit(1)
 		}
+		if err := srv.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "netplaced: drain:", err)
+			os.Exit(1)
+		}
+		log.Printf("netplaced drained cleanly")
 	}
 }
 

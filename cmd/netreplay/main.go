@@ -13,13 +13,19 @@
 //     EWMA estimates, epoch re-solve, hysteresis.
 //
 // Server mode (-server URL) uploads the instance to a running netplaced,
-// opens a streaming session, streams the trace in batches, and reports
-// the server-side session stats and final placement. A replay that dies
-// partway (network error, server restart) exits non-zero and names the
-// failed batch plus how many events the server had acknowledged; against
-// a netplaced running with -data-dir the session survives, and
+// opens a streaming session, streams the trace in sequence-numbered
+// batches, and reports the server-side session stats and final
+// placement. Transient faults — connection resets, 429 sheds, a
+// restarting server — are absorbed automatically: batches carry
+// client sequence numbers the server deduplicates durably, so the
+// client retries with backoff (honoring Retry-After) without ever
+// double-applying, and after the retry budget is exhausted it re-syncs
+// against the session's acknowledged event count and continues. Only
+// when the server stays unreachable does the replay exit non-zero,
+// naming the failed batch and the acknowledged prefix; against a
+// netplaced running with -data-dir the session survives, and
 // -resume <session-id> picks the replay up where it stopped by skipping
-// the trace prefix the session already ingested.
+// the trace prefix the session already ingested. See docs/resilience.md.
 //
 // Usage:
 //
@@ -43,8 +49,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"netplace/internal/core"
@@ -158,14 +166,23 @@ func printComparison(cmp stream.Comparison) {
 // serverBatch is the event batch size streamed per request in server mode.
 const serverBatch = 512
 
+// maxBatchFailures bounds consecutive re-sync rounds after the retry
+// policy is exhausted before the replay gives up and points at -resume.
+const maxBatchFailures = 3
+
 // replayServer streams the trace into a netplaced session and reports
-// the server-side accounting. With resume non-empty it continues an
-// existing session instead of opening one, skipping the trace prefix the
-// session already ingested (event batches are all-or-nothing, so the
-// session's event count is always a batch boundary of a prior replay).
+// the server-side accounting. Batches carry sequence numbers (batch
+// index + 1 — offsets are batch-aligned because ingestion is
+// all-or-nothing), so the client's retry policy can safely re-send a
+// batch whose response was lost: the server recognizes the sequence and
+// acknowledges without re-applying. With resume non-empty it continues
+// an existing session instead of opening one, skipping the trace prefix
+// the session already ingested (always a batch boundary of a prior
+// replay, for the same all-or-nothing reason).
 func replayServer(base string, in *core.Instance, seq []workload.Request, cfg stream.Config, resume string, asJSON bool) error {
 	ctx := context.Background()
 	c := service.NewClient(base, nil)
+	c.SetRetryPolicy(service.DefaultRetryPolicy())
 	up, err := c.Upload(ctx, "netreplay", in)
 	if err != nil {
 		return err
@@ -199,7 +216,8 @@ func replayServer(base string, in *core.Instance, seq []workload.Request, cfg st
 		names[i] = encode.ObjectName(&in.Objects[i], i)
 	}
 	var epochs []service.SessionEpochJSON
-	for start := done; start < len(seq); start += serverBatch {
+	failures := 0
+	for start := done; start < len(seq); {
 		end := start + serverBatch
 		if end > len(seq) {
 			end = len(seq)
@@ -208,15 +226,34 @@ func replayServer(base string, in *core.Instance, seq []workload.Request, cfg st
 		for _, r := range seq[start:end] {
 			batch = append(batch, service.SessionEvent{Obj: names[r.Obj], Node: r.V, Write: r.Write})
 		}
-		resp, err := c.SessionEvents(ctx, sess.SessionID, batch)
+		resp, err := c.SessionEventsSeq(ctx, sess.SessionID, int64(start/serverBatch)+1, batch)
 		if err != nil {
+			// The retry policy is already exhausted. Re-sync against the
+			// session's acknowledged event count — against a durable
+			// netplaced it survives a restart — and continue from there.
+			if failures++; failures < maxBatchFailures {
+				if info, ierr := c.Session(ctx, sess.SessionID); ierr == nil {
+					fmt.Fprintf(os.Stderr, "netreplay: re-syncing at event %d of %d after: %v\n",
+						info.Stats.Events, len(seq), err)
+					start = info.Stats.Events
+					continue
+				}
+			}
 			// Partial replay: name the failed batch and what the server had
 			// acknowledged, and point at the resume path — against a durable
 			// netplaced the session survives with exactly `start` events.
 			return fmt.Errorf("streaming events [%d,%d) of %d failed after %d acknowledged: %w (retry with -resume %s)",
 				start, end, len(seq), start, err, sess.SessionID)
 		}
-		epochs = append(epochs, resp.Epochs...)
+		failures = 0
+		if resp.Deduplicated {
+			// A prior incarnation's batch the server already holds; its
+			// epoch reports were delivered to that incarnation.
+			fmt.Fprintf(os.Stderr, "netreplay: batch at event %d already ingested, skipping\n", start)
+		} else {
+			epochs = append(epochs, resp.Epochs...)
+		}
+		start = end
 	}
 	// Close the final partial epoch so the server-side accounting matches
 	// the in-process harness on the same trace.
@@ -252,5 +289,13 @@ func replayServer(base string, in *core.Instance, seq []workload.Request, cfg st
 	if pl.Breakdown != nil {
 		fmt.Printf("final placement static cost: %.1f\n", pl.Breakdown.Total)
 	}
-	return c.CloseSession(ctx, sess.SessionID)
+	// A retried close may race a completed one: the session being gone
+	// is exactly the goal, so a 404 is success here.
+	if err := c.CloseSession(ctx, sess.SessionID); err != nil {
+		var ae *service.APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+			return err
+		}
+	}
+	return nil
 }

@@ -256,6 +256,41 @@ func TestPersistenceDocs(t *testing.T) {
 	}
 }
 
+// TestResilienceDocs asserts the overload-resilience layer stays
+// documented: docs/resilience.md exists and covers admission control,
+// deadlines, stale reads, idempotent retries, and group commit; the
+// HTTP API page links it (the 429/headers/statz fields live there); and
+// cmd/netplaced's doc comment mentions the new knobs.
+func TestResilienceDocs(t *testing.T) {
+	page, err := os.ReadFile(filepath.Join("docs", "resilience.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"-max-queue", "Retry-After", "X-Netplace-Deadline",
+		"X-Netplace-Allow-Stale", "-fsync-interval", "deduped_batches",
+		"/readyz", "429",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("docs/resilience.md does not mention %q", want)
+		}
+	}
+	api, err := os.ReadFile(filepath.Join("docs", "http-api.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(api), "resilience.md") {
+		t.Error("docs/http-api.md does not link resilience.md")
+	}
+	cmd, err := os.ReadFile(filepath.Join("cmd", "netplaced", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cmd), "-max-queue") || !strings.Contains(string(cmd), "docs/resilience.md") {
+		t.Error("cmd/netplaced doc comment does not cover -max-queue / docs/resilience.md")
+	}
+}
+
 // receiverType extracts the receiver's type name from a method receiver
 // expression (*T, T, or generic T[...]).
 func receiverType(expr ast.Expr) string {

@@ -4,24 +4,104 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"netplace/internal/core"
 	"netplace/internal/encode"
 )
 
+// APIError is a typed non-2xx response from the service: the HTTP
+// status, the server's error message, and any Retry-After hint. Match
+// with errors.As; Retryable reports whether the request may safely be
+// retried regardless of idempotency (the server rejected it before
+// applying anything).
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Method and Path identify the failed call.
+	Method, Path string
+	// Message is the server's error text (or a snippet of a non-envelope
+	// body, e.g. a proxy page).
+	Message string
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Error renders the call, server message, and status.
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// Retryable reports statuses the server sheds before doing work — 429
+// (admission control), 502/503 (proxy/drain), 504 (deadline reject) —
+// so a retry cannot double-apply even on non-idempotent calls.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy configures the client's retries: capped exponential
+// backoff with proportional jitter, honoring the server's Retry-After.
+// The zero value disables retries (every call is a single attempt, the
+// historical behavior). Typed-retryable server errors (APIError.Retryable)
+// retry on every call; transport errors (connection reset, truncated
+// response) retry only on calls the client knows are idempotent —
+// notably NOT OpenSession or the deletes, and session event batches
+// only when sequenced (SessionEventsSeq). See docs/resilience.md.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first;
+	// values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 50ms), doubling per
+	// attempt up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter spreads each delay by ±Jitter·delay (e.g. 0.2 for ±20%).
+	Jitter float64
+	// Seed makes the jitter deterministic for tests; 0 uses the global
+	// random source.
+	Seed int64
+	// Sleep replaces the real inter-attempt wait, for tests; nil sleeps
+	// on a timer, aborting on context cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy is a production-reasonable policy: 4 attempts,
+// 50ms base delay doubling to a 2s cap, ±20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2}
+}
+
 // Client is a typed HTTP client for a netplaced server. The zero value is
-// not usable; construct with NewClient. Safe for concurrent use.
+// not usable; construct with NewClient. Safe for concurrent use once
+// configured (call SetRetryPolicy before sharing across goroutines).
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand // seeded jitter source; nil uses the global one
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://localhost:8723"). httpClient may be nil for http.DefaultClient.
+// Retries are off until SetRetryPolicy.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -29,23 +109,150 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
+// SetRetryPolicy installs the client's retry policy. Call before the
+// client is shared across goroutines.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p
+	if p.Seed != 0 {
+		c.rng = rand.New(rand.NewSource(p.Seed))
+	} else {
+		c.rng = nil
+	}
+}
+
 // do sends a JSON request and decodes a JSON response into out (which may
-// be nil). Non-2xx responses surface as errors carrying the server message.
+// be nil), for calls that are safe to retry at the transport level.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doRetry(ctx, method, path, nil, in, out, true)
+}
+
+// doRetry is the request engine behind every call: marshal once, then
+// attempt under the retry policy. idempotent gates transport-level
+// retries (a lost response to a non-idempotent call may have been
+// applied); typed-retryable server errors retry regardless. A context
+// deadline is propagated to the server via the X-Netplace-Deadline
+// header, retried attempts carry X-Netplace-Retry.
+func (c *Client) doRetry(ctx context.Context, method, path string, hdr map[string]string, in, out any, idempotent bool) error {
+	var payload []byte
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
+		payload = buf
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.doOnce(ctx, method, path, hdr, payload, out, attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryableError(err, idempotent) {
+			return err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
+// retryableError decides whether one failed attempt may be retried:
+// typed server sheds always, transport faults only on idempotent calls,
+// cancellations never.
+func retryableError(err error, idempotent bool) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return idempotent
+}
+
+// backoff computes the delay before the next attempt: the server's
+// Retry-After when present, else capped exponential with jitter.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	d := c.retry.BaseDelay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if j := c.retry.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*c.rand01()-1)))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// rand01 draws from the seeded jitter source, or the global one.
+func (c *Client) rand01() float64 {
+	if c.rng == nil {
+		return rand.Float64()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// sleep waits d or until ctx is done, via the policy's hook when set.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.retry.Sleep != nil {
+		return c.retry.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doOnce executes a single HTTP attempt. Non-2xx responses surface as
+// *APIError carrying the server message and any Retry-After hint.
+func (c *Client) doOnce(ctx context.Context, method, path string, hdr map[string]string, payload []byte, out any, attempt int) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining > 0 {
+			req.Header.Set(HeaderDeadline, remaining.Round(time.Millisecond).String())
+		}
+	}
+	if attempt > 1 {
+		req.Header.Set(HeaderRetry, strconv.Itoa(attempt-1))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -54,9 +261,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			apiErr.RetryAfter = time.Duration(ra) * time.Second
+		}
 		var e errorJSON
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			apiErr.Message = e.Error
+			return apiErr
 		}
 		// Not the service's error envelope (a proxy page, a panic trace):
 		// surface the raw body rather than a bare status code.
@@ -64,9 +276,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if len(msg) > 256 {
 				msg = msg[:256] + "..."
 			}
-			return fmt.Errorf("service: %s %s: HTTP %d: %s", method, path, resp.StatusCode, msg)
+			apiErr.Message = msg
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -97,15 +309,28 @@ func (c *Client) Info(ctx context.Context, id string) (InstanceInfo, error) {
 	return out, err
 }
 
-// Delete drops an instance from the registry.
+// Delete drops an instance from the registry. Not retried on transport
+// faults: a lost response may have deleted the instance, and a blind
+// retry would surface a confusing 404.
 func (c *Client) Delete(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/instances/"+id, nil, nil)
+	return c.doRetry(ctx, http.MethodDelete, "/instances/"+id, nil, nil, nil, false)
 }
 
 // Solve solves a registered instance with the given options.
 func (c *Client) Solve(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
 	var out SolveResult
 	err := c.do(ctx, http.MethodPost, "/instances/"+id+"/solve", SolveRequest{Options: opts}, &out)
+	return out, err
+}
+
+// SolveStale is Solve with degraded-mode opt-in: when the server sheds
+// the request under overload but holds a previously computed placement
+// for the same instance and options, it answers with that result
+// instead of a 429. Check SolveResult.Stale and StaleSeconds.
+func (c *Client) SolveStale(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
+	var out SolveResult
+	hdr := map[string]string{HeaderAllowStale: "1"}
+	err := c.doRetry(ctx, http.MethodPost, "/instances/"+id+"/solve", hdr, SolveRequest{Options: opts}, &out, true)
 	return out, err
 }
 
@@ -144,12 +369,14 @@ func (c *Client) Simulate(ctx context.Context, id string, p encode.PlacementJSON
 }
 
 // OpenSession opens a streaming adaptive placement session against a
-// resident instance; stream events with SessionEvents and read the
-// adapting placement with SessionPlacement.
+// resident instance; stream events with SessionEventsSeq and read the
+// adapting placement with SessionPlacement. Not retried on transport
+// faults: a lost response may have opened a session the client would
+// never learn the ID of, leaking it until a MaxSessions eviction.
 func (c *Client) OpenSession(ctx context.Context, instanceID string, cfg SessionConfig) (SessionInfo, error) {
 	var out SessionInfo
-	err := c.do(ctx, http.MethodPost, "/v1/sessions",
-		SessionRequest{InstanceID: instanceID, Config: cfg}, &out)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/sessions", nil,
+		SessionRequest{InstanceID: instanceID, Config: cfg}, &out, false)
 	return out, err
 }
 
@@ -170,11 +397,27 @@ func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
 }
 
 // SessionEvents streams a batch of request events into a session and
-// returns the per-epoch reports the batch triggered.
+// returns the per-epoch reports the batch triggered. Unsequenced: the
+// server cannot tell a retried batch from a new one, so transport
+// faults are NOT retried (a torn response may already have applied the
+// batch). Prefer SessionEventsSeq for at-most-once retried ingest.
 func (c *Client) SessionEvents(ctx context.Context, id string, events []SessionEvent) (SessionEventsResponse, error) {
 	var out SessionEventsResponse
-	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/events",
-		SessionEventsRequest{Events: events}, &out)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/sessions/"+id+"/events", nil,
+		SessionEventsRequest{Events: events}, &out, false)
+	return out, err
+}
+
+// SessionEventsSeq streams a batch under a client-assigned sequence
+// number (strictly increasing per session, starting at 1). The server
+// remembers the highest applied sequence durably — in the session WAL's
+// commit markers and snapshots — so a retried batch after a torn
+// response is detected and acknowledged without re-applying: exactly-
+// once ingest even across a server crash. Safe to retry on any fault.
+func (c *Client) SessionEventsSeq(ctx context.Context, id string, seq int64, events []SessionEvent) (SessionEventsResponse, error) {
+	var out SessionEventsResponse
+	err := c.doRetry(ctx, http.MethodPost, "/v1/sessions/"+id+"/events", nil,
+		SessionEventsRequest{Seq: seq, Events: events}, &out, true)
 	return out, err
 }
 
@@ -194,9 +437,10 @@ func (c *Client) SessionPlacement(ctx context.Context, id string) (SessionPlacem
 	return out, err
 }
 
-// CloseSession drops a session.
+// CloseSession drops a session. Like Delete, not retried on transport
+// faults; tolerate a 404 when closing after a retry ambiguity.
 func (c *Client) CloseSession(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+	return c.doRetry(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil, nil, false)
 }
 
 // Stats snapshots the server's /statz counters.
@@ -209,4 +453,10 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // Health probes /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready probes /readyz: nil when the server is recovered and not
+// draining, an *APIError with status 503 otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }

@@ -283,9 +283,15 @@ func TestCrashRecoveryEwmaEstimator(t *testing.T) {
 }
 
 // TestCrashMidBatchWALTornWrite cuts the live WAL at every byte offset
-// of its final record — the torn-write window of a crash mid-append —
-// and asserts recovery always succeeds with the longest valid prefix,
-// accounts the discarded bytes, and leaves the session ingestable.
+// — the torn-write window of a crash mid-append — and asserts recovery
+// always succeeds with the longest *committed* prefix, accounts the
+// discarded bytes, and leaves the session ingestable. The v2 WAL is
+// batch-atomic: a batch counts only once its commit marker is fully on
+// disk, so a cut anywhere inside the final batch (event lines or the
+// marker itself) drops the whole batch. That batch was never acked —
+// the marker is written before the HTTP response — so dropping it keeps
+// the store consistent with what the client observed, and a sequenced
+// retry re-applies it exactly once.
 func TestCrashMidBatchWALTornWrite(t *testing.T) {
 	ctx := context.Background()
 	in := crashInstance(t)
@@ -331,11 +337,12 @@ func TestCrashMidBatchWALTornWrite(t *testing.T) {
 	if int64(len(data)) != size || size == 0 || data[len(data)-1] != '\n' {
 		t.Fatalf("wal file: %d bytes (stat %d)", len(data), size)
 	}
-	lastStart := int64(bytes.LastIndexByte(data[:len(data)-1], '\n') + 1)
 
+	// The live generation holds exactly the final batch: its 6 expanded
+	// event lines plus the commit marker.
 	const fullEvents = 16 + 6
 	roots := t.TempDir()
-	for off := lastStart; off <= size; off++ {
+	for off := int64(0); off <= size; off++ {
 		clone, err := h.Clone(filepath.Join(roots, fmt.Sprintf("off-%d", off)))
 		if err != nil {
 			t.Fatal(err)
@@ -347,8 +354,9 @@ func TestCrashMidBatchWALTornWrite(t *testing.T) {
 		if err != nil {
 			t.Fatalf("offset %d: recovery failed: %v", off, err)
 		}
-		wantEvents, wantDiscarded := int64(fullEvents-1), off-lastStart
-		wantValid := lastStart
+		// Any cut short of the full file tears the final batch's marker,
+		// so the whole batch rolls back to the epoch snapshot's 16 events.
+		wantEvents, wantDiscarded, wantValid := int64(fullEvents-6), off, int64(0)
 		if off == size {
 			wantEvents, wantDiscarded, wantValid = fullEvents, 0, size
 		}

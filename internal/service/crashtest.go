@@ -71,6 +71,39 @@ func (h *CrashHarness) Kill() {
 	h.srv = nil
 }
 
+// KillOSCrash crashes the whole machine, not just the process: besides
+// abandoning WAL handles it truncates each live WAL back to its last
+// fsynced offset, discarding writes that only reached the kernel page
+// cache. With a group-commit interval (Config.FsyncInterval > 0) this
+// is the crash mode that actually loses acked-but-unsynced batches —
+// the loss window the interval trades for throughput.
+func (h *CrashHarness) KillOSCrash() error {
+	if h.srv == nil {
+		return nil
+	}
+	type cut struct {
+		path string
+		size int64
+	}
+	var cuts []cut
+	for _, sess := range h.srv.sessions.list() {
+		sess.mu.Lock()
+		if sess.log != nil {
+			cuts = append(cuts, cut{h.srv.store.sessionWALPath(sess.ID, sess.log.seq), sess.log.synced})
+			sess.log.abandon()
+			sess.log = nil
+		}
+		sess.mu.Unlock()
+	}
+	h.srv = nil
+	for _, c := range cuts {
+		if err := os.Truncate(c.path, c.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WALFile returns the path and current size of a session's live WAL
 // generation (the one the session's snapshot references). It reads the
 // on-disk snapshot, so it works on a killed harness too.

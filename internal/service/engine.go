@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"netplace/internal/core"
@@ -238,6 +239,12 @@ type SolveResult struct {
 	// from the cached base solve.
 	Incremental     bool `json:"incremental,omitempty"`
 	ResolvedObjects int  `json:"resolved_objects,omitempty"`
+	// Stale reports a degraded response: the solver was saturated and the
+	// request opted in (X-Netplace-Allow-Stale), so this is the last
+	// completed placement, StaleSeconds old (also in the
+	// X-Netplace-Stale-Seconds response header).
+	Stale        bool    `json:"stale,omitempty"`
+	StaleSeconds float64 `json:"stale_seconds,omitempty"`
 }
 
 // Engine executes solves against registered instances with result caching,
@@ -251,6 +258,12 @@ type Engine struct {
 	flight   flightGroup
 	sem      chan struct{} // bounds concurrently executing solver runs
 	counters *counters
+
+	// stale holds the last completed solve per cache key for the degraded
+	// read mode; solveEWMA smooths run wall-clock nanos for the
+	// reject-on-arrival deadline check (see resilience.go).
+	stale     *resultCache
+	solveEWMA atomic.Int64
 
 	// testHookSolveStart, when non-nil, runs at the top of every solver
 	// execution; tests use it to hold a run in flight deterministically.
@@ -266,6 +279,7 @@ func NewEngine(cfg Config, reg *Registry, ct *counters) *Engine {
 		registry: reg,
 		cache:    newResultCache(cfg.CacheEntries),
 		bases:    newResultCache(cfg.CacheEntries),
+		stale:    newResultCache(cfg.CacheEntries),
 		sem:      make(chan struct{}, cfg.Workers),
 		counters: ct,
 	}
@@ -328,6 +342,7 @@ func (e *Engine) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 				return nil, err
 			}
 			e.cache.Put(key, res)
+			e.keepStale(info.Hash, res)
 			return res, nil
 		})
 		if shared {
@@ -368,23 +383,26 @@ func (e *Engine) Batch(ctx context.Context, id string, variants []SolveOptions) 
 	return results, errs
 }
 
-// run executes one solver run under the worker-pool semaphore and the
-// configured timeout. It is only entered by the singleflight leader.
+// run executes one solver run under admission control, the worker-pool
+// semaphore, and the configured timeout. It is only entered by the
+// singleflight leader, so identical concurrent solves consume one
+// admission slot and load shedding never rejects a solve that would
+// have been deduplicated anyway.
 func (e *Engine) run(ctx context.Context, id string, in *core.Instance, opts SolveOptions) (*SolveResult, error) {
-	select {
-	case e.sem <- struct{}{}:
-		defer func() { <-e.sem }()
-	case <-ctx.Done():
+	if err := e.checkDeadline(ctx); err != nil {
 		e.counters.errors.Add(1)
-		return nil, ctx.Err()
+		return nil, err
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if e.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.SolveTimeout)
 		defer cancel()
 	}
-	e.counters.inflight.Add(1)
-	defer e.counters.inflight.Add(-1)
 	e.counters.runs.Add(1)
 	if e.testHookSolveStart != nil {
 		e.testHookSolveStart()
@@ -408,7 +426,9 @@ func (e *Engine) run(ctx context.Context, id string, in *core.Instance, opts Sol
 	for _, c := range p.Copies {
 		res.Copies += len(c)
 	}
-	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	elapsed := time.Since(start)
+	e.observeSolveTime(elapsed)
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	return res, nil
 }
 

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultKind names one class of injected network fault.
+type FaultKind int
+
+const (
+	// FaultReset fails the request before it reaches the server — a
+	// connection reset on dial. The server never sees the batch, so a
+	// correct client retry cannot double-apply.
+	FaultReset FaultKind = iota
+	// FaultTruncate forwards the request, lets the server apply it,
+	// then discards the response — the torn-response case. Only a
+	// sequenced retry (SessionEventsSeq) survives this without
+	// duplicating the batch.
+	FaultTruncate
+	// FaultLatency delays the request before forwarding it intact.
+	FaultLatency
+	// FaultBlackhole swallows the request without forwarding it and
+	// fails after a delay, as if packets vanished en route.
+	FaultBlackhole
+	numFaultKinds
+)
+
+// String names the kind for logs and counters.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	case FaultLatency:
+		return "latency"
+	case FaultBlackhole:
+		return "blackhole"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// faultError is the transport-level error an injected fault surfaces.
+// It is deliberately NOT an *APIError: clients must classify it as a
+// transport fault and apply idempotency rules.
+type faultError struct {
+	kind FaultKind
+}
+
+func (e *faultError) Error() string { return "faultinject: injected " + e.kind.String() }
+
+// IsInjectedFault reports whether err (or anything it wraps, e.g. a
+// *url.Error from http.Client) came from a FaultTransport.
+func IsInjectedFault(err error) bool {
+	for err != nil {
+		if _, ok := err.(*faultError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// FaultConfig sets the per-request probability of each fault kind and
+// the delay used by latency/blackhole faults. Probabilities are
+// evaluated in order reset, truncate, latency, blackhole; at most one
+// fault fires per request.
+type FaultConfig struct {
+	ResetProb     float64
+	TruncateProb  float64
+	LatencyProb   float64
+	BlackholeProb float64
+	// Delay is how long latency faults stall and blackhole faults hang
+	// before failing. Defaults to 1ms — enough to reorder goroutines
+	// without slowing tests.
+	Delay time.Duration
+}
+
+// FaultTransport is an http.RoundTripper that injects seeded,
+// reproducible network faults in front of an inner transport. Disarmed
+// it forwards transparently, so a harness can open sessions cleanly and
+// then arm chaos for the ingest phase. Safe for concurrent use.
+type FaultTransport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	armed  bool
+	counts [numFaultKinds]int64
+}
+
+// NewFaultTransport wraps inner (nil for http.DefaultTransport) with a
+// fault injector drawing from a deterministic source seeded with seed.
+// The transport starts disarmed.
+func NewFaultTransport(inner http.RoundTripper, seed int64, cfg FaultConfig) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = time.Millisecond
+	}
+	return &FaultTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm enables fault injection.
+func (t *FaultTransport) Arm() {
+	t.mu.Lock()
+	t.armed = true
+	t.mu.Unlock()
+}
+
+// Disarm stops injecting; in-flight latency faults still complete.
+func (t *FaultTransport) Disarm() {
+	t.mu.Lock()
+	t.armed = false
+	t.mu.Unlock()
+}
+
+// Counts returns how many faults of each kind have been injected.
+func (t *FaultTransport) Counts() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, numFaultKinds)
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		out[k.String()] = t.counts[k]
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (t *FaultTransport) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// draw picks at most one fault for this request, under the lock so the
+// seeded sequence is stable for a given schedule of requests.
+func (t *FaultTransport) draw() (FaultKind, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.armed {
+		return 0, false
+	}
+	r := t.rng.Float64()
+	probs := [numFaultKinds]float64{t.cfg.ResetProb, t.cfg.TruncateProb, t.cfg.LatencyProb, t.cfg.BlackholeProb}
+	acc := 0.0
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		acc += probs[k]
+		if r < acc {
+			t.counts[k]++
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, ok := t.draw()
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	switch kind {
+	case FaultReset:
+		// Fail before the server sees anything. RoundTrippers own the
+		// body even on error.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &faultError{kind: FaultReset}
+	case FaultLatency:
+		if err := faultSleep(req.Context(), t.cfg.Delay); err != nil {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, err
+		}
+		return t.inner.RoundTrip(req)
+	case FaultBlackhole:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		if err := faultSleep(req.Context(), t.cfg.Delay); err != nil {
+			return nil, err
+		}
+		return nil, &faultError{kind: FaultBlackhole}
+	case FaultTruncate:
+		// Deliver the request — the server applies it — then lose the
+		// response on the way back.
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &faultError{kind: FaultTruncate}
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// faultSleep waits d or until the request's context is done.
+func faultSleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

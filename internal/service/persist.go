@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"netplace/internal/core"
 	"netplace/internal/encode"
@@ -39,18 +40,21 @@ import (
 // noSync drops the fsyncs for throughput at the price of durability
 // across an OS crash (process crashes still lose nothing acked).
 type store struct {
-	dir    string
-	noSync bool
+	dir       string
+	noSync    bool
+	syncEvery time.Duration // WAL group-commit interval; 0 fsyncs every append
 }
 
 // openStore creates the data directory layout and returns the store.
-func openStore(dir string, noSync bool) (*store, error) {
+// syncEvery batches WAL fsyncs (Config.FsyncInterval); snapshot writes
+// always fsync regardless.
+func openStore(dir string, noSync bool, syncEvery time.Duration) (*store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, "instances"), filepath.Join(dir, "sessions")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("service: creating data dir: %w", err)
 		}
 	}
-	return &store{dir: dir, noSync: noSync}, nil
+	return &store{dir: dir, noSync: noSync, syncEvery: syncEvery}, nil
 }
 
 // syncDir fsyncs a directory so a just-created or just-renamed entry is
@@ -183,11 +187,21 @@ type sessionMetaJSON struct {
 	Config     SessionConfig `json:"config"`
 }
 
+// walFormatVersion is the WAL wire format this server writes: version 2
+// groups event lines into batches terminated by stream.WALCommit marker
+// lines, giving batch-atomic recovery and durable idempotency sequence
+// numbers. Snapshots record the version so version-1 WALs (plain event
+// lines, line-atomic recovery) from older servers still recover.
+const walFormatVersion = 2
+
 // sessionSnapJSON pairs an engine state snapshot with the WAL generation
-// holding the events observed after it.
+// holding the events observed after it, that WAL's format version, and
+// the idempotency sequence high-water mark at the snapshot point.
 type sessionSnapJSON struct {
-	WALSeq int                 `json:"wal_seq"`
-	State  *stream.EngineState `json:"state"`
+	WALSeq  int                 `json:"wal_seq"`
+	WALVer  int                 `json:"wal_ver,omitempty"`
+	LastSeq int64               `json:"last_seq,omitempty"`
+	State   *stream.EngineState `json:"state"`
 }
 
 func (st *store) sessionMetaPath(sid string) string {
@@ -222,8 +236,8 @@ func (st *store) readSessionMeta(sid string) (sessionMetaJSON, error) {
 	return meta, nil
 }
 
-func (st *store) saveSessionSnap(sid string, seq int, state *stream.EngineState) error {
-	buf, err := json.Marshal(sessionSnapJSON{WALSeq: seq, State: state})
+func (st *store) saveSessionSnap(sid string, seq int, state *stream.EngineState, lastSeq int64) error {
+	buf, err := json.Marshal(sessionSnapJSON{WALSeq: seq, WALVer: walFormatVersion, LastSeq: lastSeq, State: state})
 	if err != nil {
 		return err
 	}
@@ -322,20 +336,31 @@ func (st *store) removeSessionFiles(sid string) error {
 // by the session mutex, like the engine it journals for.
 //
 // The append contract mirrors the ingest path's all-or-nothing
-// semantics: append writes a batch of complete event lines and makes
-// them durable before returning; on failure it truncates back to the
-// last durable offset so a partial batch can never be followed by later
-// appends (which would corrupt the middle of the log — a torn *tail* is
-// recoverable, a torn middle is not). If even the truncate fails the log
-// is marked broken and every later append errors.
+// semantics: append writes a batch of complete event lines plus a
+// stream.WALCommit marker line carrying the batch's idempotency
+// sequence number, and makes the whole batch durable before returning;
+// on failure it truncates back to the last acked offset so a partial
+// batch can never be followed by later appends (which would corrupt the
+// middle of the log — a torn *tail* is recoverable, a torn middle is
+// not). If even the truncate fails the log is marked broken and every
+// later append errors.
+//
+// Durability is per-append by default; with store.syncEvery set, fsyncs
+// group-commit — an append fsyncs only when the interval elapsed since
+// the last one, so an OS crash can lose at most one interval of acked
+// batches (a process crash still loses nothing: every append is flushed
+// to the OS). synced tracks the last offset known to have hit the disk;
+// the crash harness's OS-crash simulation truncates to it.
 type sessionLog struct {
-	st     *store
-	id     string
-	seq    int
-	f      *os.File
-	bw     *bufio.Writer
-	size   int64 // durable bytes: offset of the last acked batch
-	broken bool
+	st       *store
+	id       string
+	seq      int
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64 // acked bytes: offset after the last acked batch
+	synced   int64 // fsynced bytes: offset the OS promised is on disk
+	lastSync time.Time
+	broken   bool
 }
 
 // createSessionLog starts WAL generation seq for a session (a fresh,
@@ -345,7 +370,7 @@ func (st *store) createSessionLog(sid string, seq int) (*sessionLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sessionLog{st: st, id: sid, seq: seq, f: f, bw: bufio.NewWriter(f)}, nil
+	return &sessionLog{st: st, id: sid, seq: seq, f: f, bw: bufio.NewWriter(f), lastSync: time.Now()}, nil
 }
 
 // openSessionLog reopens WAL generation seq for appending after
@@ -355,17 +380,25 @@ func (st *store) openSessionLog(sid string, seq int, size int64) (*sessionLog, e
 	if err != nil {
 		return nil, err
 	}
-	return &sessionLog{st: st, id: sid, seq: seq, f: f, bw: bufio.NewWriter(f), size: size}, nil
+	return &sessionLog{st: st, id: sid, seq: seq, f: f, bw: bufio.NewWriter(f), size: size, synced: size, lastSync: time.Now()}, nil
 }
 
-// append writes a batch of newline-terminated event lines and fsyncs
-// them (unless the store is noSync). On any failure it rolls the file
-// back to the last durable offset and reports the error; the engine
-// state must not advance when append fails.
-func (l *sessionLog) append(lines [][]byte) error {
+// append writes a batch of newline-terminated event lines followed by
+// its commit marker (batchSeq is the client's idempotency sequence
+// number, 0 for unsequenced batches) and makes the batch durable —
+// fsyncing every append, or at the store's group-commit interval. On
+// any failure it rolls the file back to the last acked offset and
+// reports the error; the engine state must not advance when append
+// fails.
+func (l *sessionLog) append(lines [][]byte, batchSeq int64) error {
 	if l.broken {
 		return fmt.Errorf("service: session %s wal is broken; reopen the session after a restart", l.id)
 	}
+	marker, err := json.Marshal(stream.WALCommit{Seq: batchSeq, N: len(lines)})
+	if err != nil {
+		return fmt.Errorf("service: wal append: %w", err)
+	}
+	marker = append(marker, '\n')
 	var n int64
 	write := func() error {
 		for _, line := range lines {
@@ -374,18 +407,24 @@ func (l *sessionLog) append(lines [][]byte) error {
 			}
 			n += int64(len(line))
 		}
+		if _, err := l.bw.Write(marker); err != nil {
+			return err
+		}
+		n += int64(len(marker))
 		if err := l.bw.Flush(); err != nil {
 			return err
 		}
-		if !l.st.noSync {
+		if !l.st.noSync && (l.st.syncEvery <= 0 || time.Since(l.lastSync) >= l.st.syncEvery) {
 			if err := l.f.Sync(); err != nil {
 				return err
 			}
+			l.synced = l.size + n
+			l.lastSync = time.Now()
 		}
 		return nil
 	}
 	if err := write(); err != nil {
-		// Roll back to the durable prefix so the log stays appendable.
+		// Roll back to the acked prefix so the log stays appendable.
 		l.bw.Reset(l.f)
 		if terr := l.f.Truncate(l.size); terr != nil {
 			l.broken = true
@@ -403,7 +442,7 @@ func (l *sessionLog) append(lines [][]byte) error {
 // old snapshot + old (intact) WAL; after it, the new snapshot + empty
 // WAL. On error the log keeps its current generation and the caller's
 // state remains recoverable by replay.
-func (l *sessionLog) rotate(state *stream.EngineState) error {
+func (l *sessionLog) rotate(state *stream.EngineState, lastSeq int64) error {
 	if l.broken {
 		return fmt.Errorf("service: session %s wal is broken", l.id)
 	}
@@ -411,7 +450,7 @@ func (l *sessionLog) rotate(state *stream.EngineState) error {
 	if err != nil {
 		return fmt.Errorf("service: wal rotate: %w", err)
 	}
-	if err := l.st.saveSessionSnap(l.id, next.seq, state); err != nil {
+	if err := l.st.saveSessionSnap(l.id, next.seq, state, lastSeq); err != nil {
 		next.f.Close()
 		os.Remove(l.st.sessionWALPath(l.id, next.seq))
 		return fmt.Errorf("service: wal rotate: %w", err)
@@ -419,6 +458,7 @@ func (l *sessionLog) rotate(state *stream.EngineState) error {
 	old := l.f
 	oldSeq := l.seq
 	l.f, l.bw, l.seq, l.size = next.f, next.bw, next.seq, 0
+	l.synced, l.lastSync = 0, time.Now()
 	old.Close()
 	os.Remove(l.st.sessionWALPath(l.id, oldSeq))
 	return nil
@@ -458,7 +498,7 @@ func (s *Server) persistNewSession(sess *Session, cfg SessionConfig) (*sessionLo
 	if err != nil {
 		return nil, err
 	}
-	if err := s.store.saveSessionSnap(sess.ID, 1, sess.engine.State()); err != nil {
+	if err := s.store.saveSessionSnap(sess.ID, 1, sess.engine.State(), 0); err != nil {
 		l.f.Close()
 		return nil, err
 	}
@@ -531,11 +571,15 @@ func (s *Server) recoverSession(sid string) {
 	}
 
 	walPath := s.store.sessionWALPath(sid, snap.WALSeq)
-	events, valid, size, err := s.decodeSessionWAL(walPath, in)
+	events, walSeq, valid, size, err := s.decodeSessionWAL(walPath, in, snap.WALVer >= 2)
 	if err != nil {
 		log.Printf("service: skipping session %s: %v", sid, err)
 		s.sessions.reserve(sid)
 		return
+	}
+	sess.lastSeq = snap.LastSeq
+	if walSeq > sess.lastSeq {
+		sess.lastSeq = walSeq
 	}
 	if discarded := size - valid; discarded > 0 {
 		log.Printf("service: session %s: discarding %d bytes of torn wal tail (%d valid)", sid, discarded, valid)
@@ -582,26 +626,36 @@ func (s *Server) recoverSession(sid string) {
 	s.counters.sessionMoves.Add(int64(st.Moves))
 }
 
-// decodeSessionWAL reads a WAL file's longest valid prefix. A missing
-// file is an empty log (the crash may have landed before the first
-// append — or between snapshot rename and segment creation, where the
-// snapshot alone is the complete state).
-func (s *Server) decodeSessionWAL(path string, in *core.Instance) (events []workload.Request, valid, size int64, err error) {
+// decodeSessionWAL reads a WAL file's longest valid prefix. With
+// batchAtomic (version-2 WALs, the format this server writes) the
+// prefix is the committed batches — events after the last commit marker
+// belong to an unacknowledged batch and are excluded, and lastSeq is
+// the highest committed idempotency sequence number; without it
+// (version-1 WALs from older servers) recovery is line-granular and
+// lastSeq is 0. A missing file is an empty log (the crash may have
+// landed before the first append — or between snapshot rename and
+// segment creation, where the snapshot alone is the complete state).
+func (s *Server) decodeSessionWAL(path string, in *core.Instance, batchAtomic bool) (events []workload.Request, lastSeq, valid, size int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, 0, nil
+		return nil, 0, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	seq, valid, err := stream.DecodeWAL(f, in)
+	var seq []workload.Request
+	if batchAtomic {
+		seq, lastSeq, valid, err = stream.DecodeWALBatches(f, in)
+	} else {
+		seq, valid, err = stream.DecodeWAL(f, in)
+	}
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	return seq, valid, fi.Size(), nil
+	return seq, lastSeq, valid, fi.Size(), nil
 }

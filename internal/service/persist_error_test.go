@@ -225,7 +225,7 @@ func TestOpenFailsOnUnusableDataDir(t *testing.T) {
 	}
 	// A store whose sessions dir is unreadable fails recovery.
 	dir := t.TempDir()
-	if _, err := openStore(dir, false); err != nil {
+	if _, err := openStore(dir, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.RemoveAll(filepath.Join(dir, "sessions")); err != nil {
@@ -244,7 +244,7 @@ func TestOpenFailsOnUnusableDataDir(t *testing.T) {
 // prefix; when even the rollback fails, the log marks itself broken and
 // refuses everything until a restart reopens it.
 func TestSessionLogAppendRollbackAndPoison(t *testing.T) {
-	st, err := openStore(t.TempDir(), false)
+	st, err := openStore(t.TempDir(), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,23 +252,23 @@ func TestSessionLogAppendRollbackAndPoison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":1}\n")}); err != nil {
+	if err := l.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":1}\n")}, 0); err != nil {
 		t.Fatal(err)
 	}
 	durable := l.size
 	// Sabotage the fd: the next flush/sync fails, and so does the
 	// rollback truncate — the log must poison itself.
 	l.f.Close()
-	if err := l.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":2}\n")}); err == nil {
+	if err := l.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":2}\n")}, 0); err == nil {
 		t.Fatal("append on a closed fd succeeded")
 	}
 	if !l.broken {
 		t.Fatal("failed rollback did not mark the log broken")
 	}
-	if err := l.append([][]byte{[]byte("x\n")}); err == nil || !strings.Contains(err.Error(), "broken") {
+	if err := l.append([][]byte{[]byte("x\n")}, 0); err == nil || !strings.Contains(err.Error(), "broken") {
 		t.Fatalf("broken log accepted an append: %v", err)
 	}
-	if err := l.rotate(nil); err == nil || !strings.Contains(err.Error(), "broken") {
+	if err := l.rotate(nil, 0); err == nil || !strings.Contains(err.Error(), "broken") {
 		t.Fatalf("broken log accepted a rotate: %v", err)
 	}
 	// A restart-style reopen over the durable prefix works again.
@@ -276,7 +276,7 @@ func TestSessionLogAppendRollbackAndPoison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l2.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":3}\n")}); err != nil {
+	if err := l2.append([][]byte{[]byte("{\"obj\":\"a\",\"node\":3}\n")}, 0); err != nil {
 		t.Fatal(err)
 	}
 	l2.close()

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"netplace/internal/core"
@@ -44,6 +46,7 @@ var ErrInternal = errors.New("service: internal error")
 //	POST   /v1/sessions/{id}/flush    close the open partial epoch
 //	GET    /v1/sessions/{id}/placement  current adaptive placement + stats
 //	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (503 during recovery/drain)
 //	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …)
 type Server struct {
 	cfg      Config
@@ -53,6 +56,9 @@ type Server struct {
 	start    time.Time
 	mux      *http.ServeMux
 	store    *store // nil: in-memory server (New, or Open without DataDir)
+
+	ready    atomic.Bool // recovery finished; cleared never (drain uses draining)
+	draining atomic.Bool // BeginDrain called: /readyz answers 503
 }
 
 // New assembles a server (registry, engine, routes) from a config.
@@ -78,7 +84,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleSessionFlush)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/placement", s.handleSessionPlacement)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
+	// New builds a complete in-memory server: ready immediately. Open
+	// re-clears the flag while recovery replays WALs.
+	s.ready.Store(true)
 	return s
 }
 
@@ -94,7 +104,8 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return s, nil
 	}
-	st, err := openStore(cfg.DataDir, cfg.NoSync)
+	s.ready.Store(false) // unready until recovery completes
+	st, err := openStore(cfg.DataDir, cfg.NoSync, cfg.FsyncInterval)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +113,7 @@ func Open(cfg Config) (*Server, error) {
 	if err := s.recoverState(); err != nil {
 		return nil, err
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -120,8 +132,10 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux behind the
+// resilience middleware (deadline propagation, retry accounting — see
+// serveHTTP in resilience.go).
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
 
 // Engine returns the server's solve engine, for embedding and tests.
 func (s *Server) Engine() *Engine { return s.engine }
@@ -181,6 +195,16 @@ func (s *Server) Stats() Stats {
 		PersistErrors:        s.counters.persistErrors.Load(),
 		RecoveredSessions:    s.counters.recoveredSessions.Load(),
 		WALDiscardedBytes:    s.counters.walDiscarded.Load(),
+		Ready:                s.Ready(),
+		Draining:             s.draining.Load(),
+		Sheds:                s.counters.sheds.Load(),
+		MaxSolveQueue:        s.cfg.MaxSolveQueue,
+		QueueDepth:           s.counters.queued.Load(),
+		QueueHighWater:       s.counters.queueHighWater.Load(),
+		StaleReads:           s.counters.staleReads.Load(),
+		RetriesObserved:      s.counters.retriesObserved.Load(),
+		DeadlineRejects:      s.counters.deadlineRejects.Load(),
+		DedupedBatches:       s.counters.dedupedBatches.Load(),
 	}
 }
 
@@ -198,12 +222,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to do
 }
 
-// writeError maps an error to a status code and renders it.
+// writeError maps an error to a status code and renders it. Shed
+// requests get 429 with a Retry-After hint so well-behaved clients
+// (Client's RetryPolicy honors it) back off instead of hammering.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+	case errors.Is(err, ErrDeadlineUnmeetable):
+		code = http.StatusGatewayTimeout
 	case errors.Is(err, ErrInternal):
 		code = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled):
@@ -318,6 +349,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.engine.Solve(r.Context(), r.PathValue("id"), req.Options)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) && r.Header.Get(HeaderAllowStale) != "" {
+			// Degraded mode: the request opted in, so overload serves the
+			// last completed placement (flagged, with its age) instead of
+			// shedding — stale beats unavailable for read-mostly callers.
+			if stale, age, ok := s.engine.StaleResult(r.PathValue("id")); ok {
+				s.counters.staleReads.Add(1)
+				stale.Stale = true
+				stale.StaleSeconds = age.Seconds()
+				w.Header().Set(HeaderStale, strconv.FormatFloat(stale.StaleSeconds, 'f', 3, 64))
+				writeJSON(w, http.StatusOK, stale)
+				return
+			}
+		}
 		writeError(w, err)
 		return
 	}

@@ -87,6 +87,23 @@ type Config struct {
 	// NoSync skips the fsyncs on the persistence path. Throughput goes up;
 	// an OS crash (not a mere process crash) can lose acked events.
 	NoSync bool
+	// MaxSolveQueue bounds how many solve/what-if executions may be
+	// admitted (waiting for a worker slot or running) beyond the Workers
+	// pool before the engine sheds load: an admission past
+	// Workers+MaxSolveQueue is rejected immediately with ErrOverloaded
+	// (HTTP 429 + Retry-After) instead of queueing without bound.
+	// 0 selects DefaultMaxSolveQueue; negative disables shedding
+	// (unbounded queueing, the pre-admission-control behavior).
+	// Singleflight dedup runs before admission, so identical concurrent
+	// solves still collapse to one queue slot; session epoch re-solves
+	// bypass admission (they are already-admitted ingest work).
+	MaxSolveQueue int
+	// FsyncInterval batches session-WAL fsyncs (group commit): an append
+	// fsyncs only when this much time has passed since the last fsync,
+	// bounding the acked-but-lost window after an OS crash to one
+	// interval. 0 fsyncs every append (the strict durability default);
+	// the knob is moot under NoSync. Snapshot writes always fsync.
+	FsyncInterval time.Duration
 }
 
 // Defaults applied by New for zero Config fields.
@@ -97,6 +114,7 @@ const (
 	DefaultMaxUploadBytes   = 256 << 20
 	DefaultMaxBatchVariants = 64
 	DefaultMaxSessions      = 64
+	DefaultMaxSolveQueue    = 256
 )
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -121,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxSolveQueue == 0 {
+		c.MaxSolveQueue = DefaultMaxSolveQueue
 	}
 	return c
 }
@@ -160,6 +181,24 @@ type counters struct {
 	persistErrors     atomic.Int64 // failed persistence operations (logged, mostly non-fatal)
 	recoveredSessions atomic.Int64 // sessions rebuilt from snapshot+WAL at startup
 	walDiscarded      atomic.Int64 // torn WAL tail bytes discarded at recovery
+
+	sheds           atomic.Int64 // solves rejected by admission control (429)
+	staleReads      atomic.Int64 // degraded stale placements served under overload
+	queued          atomic.Int64 // solves admitted right now (waiting + running)
+	queueHighWater  atomic.Int64 // high-water mark of admission pressure (includes shed attempts)
+	retriesObserved atomic.Int64 // requests carrying a client retry header
+	deadlineRejects atomic.Int64 // requests rejected on arrival as unmeetable
+	dedupedBatches  atomic.Int64 // sequenced event batches deduplicated by idempotent ingest
+}
+
+// bumpHighWater lifts queueHighWater to at least v.
+func (c *counters) bumpHighWater(v int64) {
+	for {
+		cur := c.queueHighWater.Load()
+		if v <= cur || c.queueHighWater.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Stats is a point-in-time snapshot of the service, rendered by /statz.
@@ -238,4 +277,29 @@ type Stats struct {
 	PersistErrors     int64 `json:"persist_errors"`
 	RecoveredSessions int64 `json:"recovered_sessions"`
 	WALDiscardedBytes int64 `json:"wal_discarded_bytes"`
+	// Ready mirrors /readyz (true once recovery finished and until drain
+	// begins); Draining reports that BeginDrain was called.
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// Sheds counts solve/what-if requests rejected by admission control
+	// (429 + Retry-After); MaxSolveQueue echoes the configured bound
+	// (negative: shedding disabled). QueueDepth is the number of solves
+	// admitted right now (waiting + running) and QueueHighWater the
+	// highest admission pressure ever seen, counting the attempt that was
+	// shed — under sustained overload it reads Workers+MaxSolveQueue+1.
+	Sheds          int64 `json:"sheds"`
+	MaxSolveQueue  int   `json:"max_solve_queue"`
+	QueueDepth     int64 `json:"queue_depth"`
+	QueueHighWater int64 `json:"queue_high_water"`
+	// StaleReads counts degraded responses served from the last-good
+	// placement cache while the solver was saturated; RetriesObserved
+	// counts requests that carried the client retry header;
+	// DeadlineRejects counts requests rejected on arrival because their
+	// X-Netplace-Deadline could not be met; DedupedBatches counts
+	// sequenced session event batches the idempotent ingest path dropped
+	// as already applied (see docs/resilience.md).
+	StaleReads      int64 `json:"stale_reads"`
+	RetriesObserved int64 `json:"retries_observed"`
+	DeadlineRejects int64 `json:"deadline_rejects"`
+	DedupedBatches  int64 `json:"deduped_batches"`
 }

@@ -81,6 +81,7 @@ type Session struct {
 	objIndex map[string]int  // wire object name → index, immutable
 	reqCtx   context.Context // current request's context; only touched under mu
 	log      *sessionLog     // nil: server has no data dir
+	lastSeq  int64           // highest applied client sequence number (idempotent ingest)
 }
 
 // SessionRequest is the body of POST /v1/sessions.
@@ -107,6 +108,10 @@ type SessionInfo struct {
 	MigrationFactor float64 `json:"migration_factor"`
 	// Stats snapshots the session's accounting so far.
 	Stats SessionStats `json:"stats"`
+	// LastSeq is the highest applied client sequence number (0 when the
+	// session has only seen unsequenced batches) — the resume point for
+	// idempotent ingest.
+	LastSeq int64 `json:"last_seq,omitempty"`
 }
 
 // SessionStats is the wire form of stream.Stats: the session's exact
@@ -144,8 +149,17 @@ type SessionEvent struct {
 }
 
 // SessionEventsRequest is the body of POST /v1/sessions/{id}/events.
+// Seq, when positive, is the batch's client sequence number and makes
+// the ingest idempotent: sequence numbers must be strictly increasing
+// per session, and a batch whose Seq is at or below the session's
+// high-water mark is acknowledged without being applied (the response
+// sets Deduplicated) — so a retry after a torn response applies exactly
+// once. The sequence number is journaled with the batch (and carried in
+// snapshots), so deduplication survives crashes and restarts. Seq 0
+// streams unsequenced, as before.
 type SessionEventsRequest struct {
 	Events []SessionEvent `json:"events"`
+	Seq    int64          `json:"seq,omitempty"`
 }
 
 // SessionEpochJSON is the wire form of one closed epoch's report.
@@ -161,10 +175,16 @@ type SessionEpochJSON struct {
 
 // SessionEventsResponse reports what a batch of events caused: how many
 // events were ingested and which epochs closed while ingesting them.
+// Seq echoes the session's applied-sequence high-water mark;
+// Deduplicated reports that the batch was recognised as already applied
+// (its events were NOT re-ingested — Accepted is 0 and Stats reflects
+// the original application).
 type SessionEventsResponse struct {
-	Accepted int                `json:"accepted"`
-	Epochs   []SessionEpochJSON `json:"epochs,omitempty"`
-	Stats    SessionStats       `json:"stats"`
+	Accepted     int                `json:"accepted"`
+	Epochs       []SessionEpochJSON `json:"epochs,omitempty"`
+	Stats        SessionStats       `json:"stats"`
+	Seq          int64              `json:"seq,omitempty"`
+	Deduplicated bool               `json:"deduplicated,omitempty"`
 }
 
 // SessionPlacementResponse is the body of GET /v1/sessions/{id}/placement.
@@ -281,7 +301,8 @@ func (s *Session) info() SessionInfo {
 		SessionID: s.ID, InstanceID: s.InstanceID,
 		Epoch: cfg.Epoch, Window: cfg.Window, Alpha: cfg.Alpha,
 		Horizon: cfg.Horizon, Payback: cfg.Payback, MigrationFactor: cfg.MigrationFactor,
-		Stats: sessionStats(s.engine.Stats()),
+		Stats:   sessionStats(s.engine.Stats()),
+		LastSeq: s.lastSeq,
 	}
 }
 
@@ -412,11 +433,28 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("service: events batch is empty"))
 		return
 	}
+	if req.Seq < 0 {
+		writeError(w, fmt.Errorf("service: negative batch seq %d", req.Seq))
+		return
+	}
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.reqCtx = r.Context()
 	defer func() { sess.reqCtx = nil }()
+	if req.Seq > 0 && req.Seq <= sess.lastSeq {
+		// Idempotent retry: this sequence number (or a later one) was
+		// already applied and acknowledged — or the response carrying the
+		// ack was torn. Either way the events are in; acknowledge again
+		// without re-applying.
+		s.counters.dedupedBatches.Add(1)
+		writeJSON(w, http.StatusOK, SessionEventsResponse{
+			Deduplicated: true,
+			Seq:          sess.lastSeq,
+			Stats:        sessionStats(sess.engine.Stats()),
+		})
+		return
+	}
 	// Validate the whole batch before the first Observe: ingestion must
 	// be all-or-nothing, so a failed request never leaves the session's
 	// estimates skewed by a half-applied prefix that a retry would then
@@ -473,7 +511,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 				lines = append(lines, line)
 			}
 		}
-		if err := sess.log.append(lines); err != nil {
+		if err := sess.log.append(lines, req.Seq); err != nil {
 			// The log rolled itself back to the durable prefix; the engine
 			// never saw the batch, so memory and disk still agree.
 			s.counters.persistErrors.Add(1)
@@ -501,12 +539,16 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if req.Seq > 0 {
+		sess.lastSeq = req.Seq
+	}
+	resp.Seq = sess.lastSeq
 	if sess.log != nil && len(resp.Epochs) > 0 {
 		// Epoch boundary: snapshot the engine state and truncate the log
 		// (rotate to a fresh generation). Failure is benign for
 		// correctness — the old snapshot plus the intact WAL still replays
 		// to exactly this state — so the batch is still acked.
-		if err := sess.log.rotate(sess.engine.State()); err != nil {
+		if err := sess.log.rotate(sess.engine.State(), sess.lastSeq); err != nil {
 			s.counters.persistErrors.Add(1)
 			log.Printf("service: session %s: %v", sess.ID, err)
 		}
@@ -553,12 +595,13 @@ func (s *Server) handleSessionFlush(w http.ResponseWriter, r *http.Request) {
 		// not-durable and the client may retry. Rotation runs even when
 		// the epoch was already empty, so a retry re-attempts exactly the
 		// failed checkpoint.
-		if err := sess.log.rotate(sess.engine.State()); err != nil {
+		if err := sess.log.rotate(sess.engine.State(), sess.lastSeq); err != nil {
 			s.counters.persistErrors.Add(1)
 			writeError(w, fmt.Errorf("%w: flush not durable: %v", ErrInternal, err))
 			return
 		}
 	}
+	resp.Seq = sess.lastSeq
 	resp.Stats = sessionStats(sess.engine.Stats())
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -241,13 +241,10 @@ func (e *Engine) scenarioIncremental(ctx context.Context, id string, in *core.In
 		// Copy-on-write: only scenarios that re-solve something need their
 		// own copy-set slice.
 		p = core.Placement{Copies: append([][]int(nil), base.placement.Copies...)}
-		select {
-		case e.sem <- struct{}{}:
-		case <-ctx.Done():
-			e.counters.errors.Add(1)
-			return SolveResult{}, ctx.Err()
+		release, err := e.admit(ctx)
+		if err != nil {
+			return SolveResult{}, err
 		}
-		e.counters.inflight.Add(1)
 		// One object at a time: object-level fan-out is useless here, so
 		// intra-solve parallelism is the only way this path uses more than
 		// one core.
@@ -255,8 +252,7 @@ func (e *Engine) scenarioIncremental(ctx context.Context, id string, in *core.In
 		for _, i := range changed {
 			p.Copies[i] = core.ApproximateObject(scen, &scen.Objects[i], copt)
 		}
-		e.counters.inflight.Add(-1)
-		<-e.sem
+		release()
 	}
 	isChanged := make(map[int]bool, len(changed))
 	for _, i := range changed {
@@ -299,20 +295,20 @@ func (e *Engine) scenarioFull(ctx context.Context, id string, in *core.Instance,
 		return SolveResult{}, err
 	}
 	scen.SetMetric(in.Metric())
-	select {
-	case e.sem <- struct{}{}:
-		defer func() { <-e.sem }()
-	case <-ctx.Done():
+	if err := e.checkDeadline(ctx); err != nil {
 		e.counters.errors.Add(1)
-		return SolveResult{}, ctx.Err()
+		return SolveResult{}, err
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	defer release()
 	if e.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.SolveTimeout)
 		defer cancel()
 	}
-	e.counters.inflight.Add(1)
-	defer e.counters.inflight.Add(-1)
 	e.counters.runs.Add(1)
 	start := time.Now()
 	res := SolveResult{InstanceID: id, Options: opts, Scenario: sc.Label}

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -248,5 +249,61 @@ func TestDecodeWALPrefixSemantics(t *testing.T) {
 	}
 	if len(seq) != 3 || valid != int64(len(data)) {
 		t.Fatalf("count expansion: %d events, %d valid", len(seq), valid)
+	}
+}
+
+// TestDecodeWALBatchesSemantics pins the v2 batch-atomic contract: a
+// batch counts only when its commit marker is intact and counts its
+// expanded events exactly; everything after the last good marker is an
+// unacknowledged suffix the caller truncates.
+func TestDecodeWALBatchesSemantics(t *testing.T) {
+	in := testInstance(t, 3, 2)
+	name := in.Objects[0].Name
+	e1 := `{"obj":"` + name + `","node":1}` + "\n"
+	e2 := `{"obj":"` + name + `","node":2,"write":true}` + "\n"
+	e3c := `{"obj":"` + name + `","node":0,"count":3}` + "\n"
+	m := func(seq int64, n int) string { return fmt.Sprintf(`{"seq":%d,"n":%d}`, seq, n) + "\n" }
+
+	for _, tc := range []struct {
+		name    string
+		data    string
+		events  int
+		lastSeq int64
+		valid   int64
+	}{
+		{"empty", "", 0, 0, 0},
+		{"one batch", e1 + e2 + m(5, 2), 2, 5, int64(len(e1 + e2 + m(5, 2)))},
+		{"two batches", e1 + m(1, 1) + e2 + m(2, 1), 2, 2, int64(len(e1 + m(1, 1) + e2 + m(2, 1)))},
+		{"missing final marker", e1 + m(1, 1) + e2, 1, 1, int64(len(e1 + m(1, 1)))},
+		{"torn marker", e1 + m(1, 1) + e2 + m(2, 1)[:3], 1, 1, int64(len(e1 + m(1, 1)))},
+		{"marker count mismatch", e1 + e2 + m(7, 1), 0, 0, 0},
+		{"count expansion", e3c + m(4, 3), 3, 4, int64(len(e3c + m(4, 3)))},
+		{"unexpanded count rejected", e3c + m(4, 1), 0, 0, 0},
+		{"padding inside batch", "# hdr\n" + e1 + "\n" + m(9, 1), 1, 9, int64(len("# hdr\n" + e1 + "\n" + m(9, 1)))},
+		{"malformed mid-batch", e1 + m(1, 1) + "{garbage\n" + e2 + m(2, 1), 1, 1, int64(len(e1 + m(1, 1)))},
+		{"negative n marker", e1 + `{"seq":1,"n":-1}` + "\n", 0, 0, 0},
+		{"empty batch marker", m(3, 0) + e1 + m(4, 1), 1, 4, int64(len(m(3, 0) + e1 + m(4, 1)))},
+		{"seq watermark is max", e1 + m(9, 1) + e2 + m(2, 1), 2, 9, int64(len(e1 + m(9, 1) + e2 + m(2, 1)))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, lastSeq, valid, err := DecodeWALBatches(strings.NewReader(tc.data), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != tc.events || lastSeq != tc.lastSeq || valid != tc.valid {
+				t.Fatalf("got %d events, seq %d, %d valid; want %d, %d, %d",
+					len(seq), lastSeq, valid, tc.events, tc.lastSeq, tc.valid)
+			}
+			// Re-decoding the committed prefix alone reproduces the result —
+			// the property post-crash truncation relies on.
+			seq2, lastSeq2, valid2, err := DecodeWALBatches(strings.NewReader(tc.data[:tc.valid]), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if valid2 != tc.valid || lastSeq2 != tc.lastSeq || !reflect.DeepEqual(seq, seq2) {
+				t.Fatalf("prefix re-decode diverged: %d/%d bytes, seq %d/%d, %d/%d events",
+					valid2, tc.valid, lastSeq2, tc.lastSeq, len(seq2), len(seq))
+			}
+		})
 	}
 }

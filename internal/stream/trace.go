@@ -139,6 +139,93 @@ func DecodeWAL(r io.Reader, in *core.Instance) (seq []workload.Request, valid in
 	}
 }
 
+// WALCommit is a batch-commit marker line in a version-2 session WAL:
+// written after the N event lines of one ingest batch, carrying the
+// client's idempotency sequence number (0 for unsequenced batches). Its
+// field set is disjoint from EventJSON's required fields, so a marker
+// can never parse as an event (decodeEventLine rejects unknown fields)
+// and vice versa.
+type WALCommit struct {
+	Seq int64 `json:"seq"`
+	N   int   `json:"n"`
+}
+
+// decodeCommitLine parses one trimmed WAL line as a batch-commit marker,
+// rejecting unknown fields, trailing garbage, and negative counts.
+func decodeCommitLine(text string) (WALCommit, error) {
+	var cm WALCommit
+	dec := json.NewDecoder(strings.NewReader(text))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cm); err != nil {
+		return WALCommit{}, err
+	}
+	if dec.More() {
+		return WALCommit{}, fmt.Errorf("trailing data after commit marker")
+	}
+	if cm.N < 0 {
+		return WALCommit{}, fmt.Errorf("negative commit count %d", cm.N)
+	}
+	return cm, nil
+}
+
+// DecodeWALBatches parses a version-2 session WAL — event lines grouped
+// into batches, each terminated by a WALCommit marker line — with
+// batch-granular torn-tail tolerance: it returns the events of every
+// complete batch (one whose marker is present, newline-terminated, and
+// counts exactly the expanded events written before it), the highest
+// committed sequence number, and the byte length of that committed
+// prefix. Event lines after the last marker are an unacknowledged batch
+// the client never got a response for; they are excluded so the caller
+// can truncate the file at the commit boundary and let the client's
+// retry (same sequence number) apply the batch exactly once. Blank and
+// '#' comment lines are valid padding inside the committed prefix. The
+// error is non-nil only for I/O failures of r itself, never for content.
+func DecodeWALBatches(r io.Reader, in *core.Instance) (seq []workload.Request, lastSeq int64, valid int64, err error) {
+	idx := ObjectIndex(in)
+	br := bufio.NewReader(r)
+	var pending []workload.Request
+	var off int64
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == io.EOF {
+			// A final chunk without its newline is a torn write; with or
+			// without it, anything after the last marker is uncommitted.
+			return seq, lastSeq, valid, nil
+		}
+		if rerr != nil {
+			return seq, lastSeq, valid, fmt.Errorf("stream: reading wal: %w", rerr)
+		}
+		off += int64(len(line))
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if ev, everr := decodeEventLine(text); everr == nil {
+			req, count, rerr := resolveEvent(ev, idx, in.N())
+			if rerr != nil {
+				return seq, lastSeq, valid, nil
+			}
+			for k := 0; k < count; k++ {
+				pending = append(pending, req)
+			}
+			continue
+		}
+		cm, cerr := decodeCommitLine(text)
+		if cerr != nil || cm.N != len(pending) {
+			// Malformed line, or a marker that does not count its batch
+			// (a torn middle would have been caught by the event decode):
+			// the committed prefix ends at the previous marker.
+			return seq, lastSeq, valid, nil
+		}
+		seq = append(seq, pending...)
+		pending = pending[:0]
+		if cm.Seq > lastSeq {
+			lastSeq = cm.Seq
+		}
+		valid = off
+	}
+}
+
 // WriteTrace serialises a request sequence as JSONL, one event per line,
 // using the instance's wire object names. The inverse of ReadTrace.
 func WriteTrace(w io.Writer, in *core.Instance, seq []workload.Request) error {

@@ -160,3 +160,42 @@ func FuzzDecodeWAL(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeWALBatches: the batch-atomic decoder shares DecodeWAL's
+// robustness contract — no panics, no content errors, bounded
+// newline-terminated prefix — plus the commit invariant: the committed
+// prefix alone re-decodes to the same events and sequence watermark.
+func FuzzDecodeWALBatches(f *testing.F) {
+	addTraceSeeds(f)
+	f.Add([]byte("{\"obj\":\"o0\",\"node\":1}\n{\"seq\":1,\"n\":1}\n"))
+	f.Add([]byte("{\"obj\":\"o0\",\"node\":1,\"count\":2}\n{\"seq\":3,\"n\":2}\n{\"seq\":4,\"n\":0}\n"))
+	in := fuzzInstance()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !boundedCounts(data) {
+			t.Skip("unbounded count expansion")
+		}
+		seq, lastSeq, valid, err := DecodeWALBatches(bytes.NewReader(data), in)
+		if err != nil {
+			t.Fatalf("in-memory decode returned I/O error: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0,%d]", valid, len(data))
+		}
+		if valid > 0 && data[valid-1] != '\n' {
+			t.Fatalf("valid prefix of %d bytes not newline-terminated", valid)
+		}
+		for _, r := range seq {
+			if r.Obj < 0 || r.Obj >= len(in.Objects) || r.V < 0 || r.V >= in.N() {
+				t.Fatalf("decoded out-of-range event %+v", r)
+			}
+		}
+		seq2, lastSeq2, valid2, err := DecodeWALBatches(bytes.NewReader(data[:valid]), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if valid2 != valid || lastSeq2 != lastSeq || !reflect.DeepEqual(seq, seq2) {
+			t.Fatalf("prefix re-decode diverged: %d/%d bytes, seq %d/%d, %d/%d events",
+				valid2, valid, lastSeq2, lastSeq, len(seq2), len(seq))
+		}
+	})
+}
