@@ -21,8 +21,8 @@ import (
 // APIError is a typed non-2xx response from the service: the HTTP
 // status, the server's error message, and any Retry-After hint. Match
 // with errors.As; Retryable reports whether the request may safely be
-// retried regardless of idempotency (the server rejected it before
-// applying anything).
+// retried regardless of idempotency (the failure provably happened
+// before the server applied anything).
 type APIError struct {
 	// Status is the HTTP status code.
 	Status int
@@ -33,6 +33,11 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's Retry-After hint, 0 when absent.
 	RetryAfter time.Duration
+	// Shed reports the X-Netplace-Shed marker: the server itself
+	// rejected the request before applying anything. A 502/504 without
+	// it may have been minted by an intermediary after the backend did
+	// the work.
+	Shed bool
 }
 
 // Error renders the call, server message, and status.
@@ -43,14 +48,20 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
 }
 
-// Retryable reports statuses the server sheds before doing work — 429
-// (admission control), 502/503 (proxy/drain), 504 (deadline reject) —
-// so a retry cannot double-apply even on non-idempotent calls.
+// Retryable reports responses that provably precede any state change,
+// so a retry cannot double-apply even on non-idempotent calls: 429
+// (admission shed), 503 (drain/not-ready — also what a proxy sends when
+// it never reached the backend), and a 504 carrying the server's
+// X-Netplace-Shed marker (deadline rejected on arrival). A bare 502 or
+// 504 can be minted by a reverse proxy AFTER the backend applied the
+// request, so those are transport-class faults: doRetry retries them
+// only on idempotent calls.
 func (e *APIError) Retryable() bool {
 	switch e.Status {
-	case http.StatusTooManyRequests, http.StatusBadGateway,
-		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		return true
+	case http.StatusGatewayTimeout:
+		return e.Shed
 	}
 	return false
 }
@@ -60,9 +71,12 @@ func (e *APIError) Retryable() bool {
 // The zero value disables retries (every call is a single attempt, the
 // historical behavior). Typed-retryable server errors (APIError.Retryable)
 // retry on every call; transport errors (connection reset, truncated
-// response) retry only on calls the client knows are idempotent —
-// notably NOT OpenSession or the deletes, and session event batches
-// only when sequenced (SessionEventsSeq). See docs/resilience.md.
+// response) and bare gateway statuses (502/504 without the server's
+// X-Netplace-Shed marker, which a proxy may emit after the backend
+// applied the request) retry only on calls the client knows are
+// idempotent — notably NOT OpenSession or the deletes, and session
+// event batches only when sequenced (SessionEventsSeq). See
+// docs/resilience.md.
 type RetryPolicy struct {
 	// MaxAttempts is the total attempt budget including the first;
 	// values below 2 disable retries.
@@ -161,12 +175,21 @@ func (c *Client) doRetry(ctx context.Context, method, path string, hdr map[strin
 }
 
 // retryableError decides whether one failed attempt may be retried:
-// typed server sheds always, transport faults only on idempotent calls,
-// cancellations never.
+// typed server sheds always, transport faults — including gateway
+// statuses an intermediary may emit after the backend applied the
+// request (bare 502/504) — only on idempotent calls, cancellations
+// never.
 func retryableError(err error, idempotent bool) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Retryable()
+		if ae.Retryable() {
+			return true
+		}
+		switch ae.Status {
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			return idempotent
+		}
+		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -261,7 +284,8 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr map[string
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path}
+		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path,
+			Shed: resp.Header.Get(HeaderShed) != ""}
 		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 			apiErr.RetryAfter = time.Duration(ra) * time.Second
 		}
@@ -324,9 +348,12 @@ func (c *Client) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 }
 
 // SolveStale is Solve with degraded-mode opt-in: when the server sheds
-// the request under overload but holds a previously computed placement
-// for the same instance and options, it answers with that result
-// instead of a 429. Check SolveResult.Stale and StaleSeconds.
+// the request under overload but holds a previously completed placement
+// of the same instance, it answers with that result instead of a 429.
+// The stale cache is keyed by instance alone (see Engine.StaleResult),
+// so the degraded answer may have been computed with different options
+// than requested — check SolveResult.Options alongside Stale and
+// StaleSeconds before trusting option-sensitive fields.
 func (c *Client) SolveStale(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
 	var out SolveResult
 	hdr := map[string]string{HeaderAllowStale: "1"}

@@ -530,7 +530,10 @@ func (s *Server) recoverState() error {
 // snapshot, replay the WAL's longest valid prefix through the normal
 // Observe path (truncating a torn tail), and re-register it under its
 // original id. Recovery writes no new snapshot — replay is idempotent,
-// so crashing during recovery just replays again.
+// so crashing during recovery just replays again — with one exception:
+// a session recovered from a pre-v2 snapshot rotates immediately, so
+// the commit-marker batches appended from now on are never mixed into a
+// log a v1 (line-granular) recovery would decode.
 func (s *Server) recoverSession(sid string) {
 	meta, err := s.store.readSessionMeta(sid)
 	if err != nil {
@@ -606,6 +609,20 @@ func (s *Server) recoverSession(sid string) {
 		return
 	}
 	s.store.cleanStraySegments(sid, snap.WALSeq)
+	if snap.WALVer < walFormatVersion {
+		// Upgrade path: append writes v2 commit-marker batches, but the
+		// snapshot still selects the line-granular v1 decoder. If a crash
+		// landed before the first natural rotation, the next recovery
+		// would read the first marker as a torn tail and truncate every
+		// acknowledged batch after it. Rotate now — fresh empty
+		// generation, snapshot stamped wal_ver=2 — before any append.
+		if err := l.rotate(eng.State(), sess.lastSeq); err != nil {
+			log.Printf("service: skipping session %s: upgrading wal format: %v", sid, err)
+			l.close()
+			s.sessions.reserve(sid)
+			return
+		}
+	}
 	sess.engine = eng
 	sess.log = l
 	if err := s.sessions.restore(sess); err != nil {

@@ -24,11 +24,17 @@ import (
 // HeaderAllowStale on a solve opts into the degraded mode: when the
 // solver is saturated, serve the last completed placement instead of
 // 429, flagged by HeaderStale carrying its age in seconds.
+// HeaderShed marks an error response the server produced BEFORE
+// applying anything (admission shed, on-arrival deadline reject) — the
+// client may retry it even on non-idempotent calls. Its absence on a
+// 502/504 means the status may have come from an intermediary after the
+// backend did the work, so only idempotent calls retry those.
 const (
 	HeaderDeadline   = "X-Netplace-Deadline"
 	HeaderRetry      = "X-Netplace-Retry"
 	HeaderAllowStale = "X-Netplace-Allow-Stale"
 	HeaderStale      = "X-Netplace-Stale-Seconds"
+	HeaderShed       = "X-Netplace-Shed"
 )
 
 // ErrOverloaded reports that admission control shed the request: the

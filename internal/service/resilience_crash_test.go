@@ -262,6 +262,10 @@ func TestIdempotentRetryAcrossCrash(t *testing.T) {
 // line-atomic v1 WAL format (no commit markers, no wal_ver in the
 // snapshot) still recovers — the decoder is chosen per snapshot
 // version, and an un-versioned snapshot selects the legacy path.
+// Recovery must also upgrade the layout on the spot (rotate to a fresh
+// generation with wal_ver=2) before accepting appends: commit-marker
+// batches appended into a still-v1 layout would read as a torn tail on
+// the next crash and silently truncate acknowledged data.
 func TestLegacyWALRecoveryCompat(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
@@ -336,9 +340,34 @@ func TestLegacyWALRecoveryCompat(t *testing.T) {
 	if info, err := c2.Session(ctx, sid); err != nil || info.LastSeq != 0 {
 		t.Fatalf("legacy watermark: %+v, %v", info, err)
 	}
-	r, err := c2.SessionEventsSeq(ctx, sid, 1, driftTrace(24, 8))
-	if err != nil || r.Deduplicated || r.Accepted != 8 {
-		t.Fatalf("ingest after legacy recovery: %+v, %v", r, err)
+	// Recovery upgraded the layout in place: the snapshot now names the
+	// v2 format, so future appends and recoveries agree on the decoder.
+	upSnap, err := srv2.store.readSessionSnap(sid)
+	if err != nil || upSnap.WALVer != walFormatVersion {
+		t.Fatalf("snapshot after legacy recovery: wal_ver=%d err=%v, want %d", upSnap.WALVer, err, walFormatVersion)
+	}
+	// Append two sequenced (v2 commit-marker) batches, then crash before
+	// any rotation. Without the upgrade rotate, the next recovery would
+	// decode line-granularly, read batch 1's marker as a torn tail, and
+	// truncate batch 2 away despite both having been acknowledged.
+	tail := driftTrace(24, 16)
+	ingestSeq(t, c2, sid, tail, 8, 1)
+	h.Kill()
+
+	srv3, err := h.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := serveExisting(t, srv3)
+	if st := srv3.Stats(); st.RecoveredSessions != 1 || st.SessionEvents != 32 || st.WALDiscardedBytes != 0 {
+		t.Fatalf("recovery after upgrade: recovered=%d events=%d discarded=%d, want 1/32/0", st.RecoveredSessions, st.SessionEvents, st.WALDiscardedBytes)
+	}
+	if info, err := c3.Session(ctx, sid); err != nil || info.LastSeq != 2 {
+		t.Fatalf("watermark after upgrade crash: %+v, %v", info, err)
+	}
+	// The acknowledged batches survived: a retry of either dedupes.
+	if r, err := c3.SessionEventsSeq(ctx, sid, 2, tail[8:16]); err != nil || !r.Deduplicated || r.Accepted != 0 {
+		t.Fatalf("retry of upgraded seq 2: %+v, %v", r, err)
 	}
 	h.Kill()
 }

@@ -200,6 +200,11 @@ func TestDeadlineHeaderMiddleware(t *testing.T) {
 	if !strings.Contains(ae.Message, "estimated") {
 		t.Fatalf("reject message %q lacks the estimate", ae.Message)
 	}
+	// The on-arrival reject carries the shed marker, so the client knows
+	// this 504 preceded any work and may retry it on any call.
+	if !ae.Shed || !ae.Retryable() {
+		t.Fatalf("on-arrival 504 not shed-marked retryable: %+v", ae)
+	}
 	if st := srv.Stats(); st.DeadlineRejects != 2 || st.SolvesTotal != 0 {
 		t.Fatalf("deadlineRejects=%d solves=%d, want 2/0", st.DeadlineRejects, st.SolvesTotal)
 	}
@@ -363,6 +368,62 @@ func TestClientTransportRetryIdempotencyGate(t *testing.T) {
 	}
 }
 
+// TestClientGatewayStatusRetryGate: a bare 502/504 may be minted by a
+// reverse proxy after the backend applied the request, so it retries
+// like a transport fault — idempotent calls only — while the server's
+// own X-Netplace-Shed-marked 504 (rejected on arrival, nothing applied)
+// retries on any call.
+func TestClientGatewayStatusRetryGate(t *testing.T) {
+	ctx := context.Background()
+	var hits atomic.Int64
+	var mode atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		switch mode.Load().(string) {
+		case "bad-gateway":
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprint(w, "upstream connect error")
+		case "shed-504-once":
+			if n == 1 {
+				w.Header().Set(HeaderShed, "1")
+				writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "rejected on arrival"})
+				return
+			}
+			writeJSON(w, http.StatusOK, SessionInfo{SessionID: "s1"})
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, Sleep: func(context.Context, time.Duration) error { return nil }})
+
+	// A proxy 502 on a non-idempotent call surfaces without a retry —
+	// the backend may already have opened the session.
+	mode.Store("bad-gateway")
+	_, err := c.OpenSession(ctx, "whatever", SessionConfig{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadGateway || hits.Load() != 1 {
+		t.Fatalf("OpenSession on 502: err=%v attempts=%d, want 1 attempt", err, hits.Load())
+	}
+	if ae.Retryable() || ae.Shed {
+		t.Fatalf("bare 502 classified pre-application: %+v", ae)
+	}
+	// The same 502 on an idempotent call burns the full retry budget.
+	hits.Store(0)
+	if err := c.Health(ctx); err == nil || hits.Load() != 3 {
+		t.Fatalf("Health on 502: err=%v attempts=%d, want 3 attempts", err, hits.Load())
+	}
+	// The server's own on-arrival 504 carries the shed marker: safe to
+	// retry even on a non-idempotent call.
+	hits.Store(0)
+	mode.Store("shed-504-once")
+	info, err := c.OpenSession(ctx, "whatever", SessionConfig{})
+	if err != nil || info.SessionID != "s1" || hits.Load() != 2 {
+		t.Fatalf("OpenSession through shed 504: %+v, %v, attempts=%d", info, err, hits.Load())
+	}
+}
+
 // TestClientBackoffShape pins the backoff math: exponential from
 // BaseDelay, capped at MaxDelay, jitter-free when Jitter is 0, and
 // cancellation is never retried.
@@ -394,6 +455,15 @@ func TestClientBackoffShape(t *testing.T) {
 	}
 	if !retryableError(errors.New("conn reset"), true) || retryableError(errors.New("conn reset"), false) {
 		t.Error("transport-fault idempotency gate broken")
+	}
+	if retryableError(&APIError{Status: 502}, false) || !retryableError(&APIError{Status: 502}, true) {
+		t.Error("bare 502 idempotency gate broken")
+	}
+	if retryableError(&APIError{Status: 504}, false) || !retryableError(&APIError{Status: 504}, true) {
+		t.Error("bare 504 idempotency gate broken")
+	}
+	if !retryableError(&APIError{Status: 504, Shed: true}, false) {
+		t.Error("shed-marked 504 not retryable on a non-idempotent call")
 	}
 }
 

@@ -225,6 +225,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError maps an error to a status code and renders it. Shed
 // requests get 429 with a Retry-After hint so well-behaved clients
 // (Client's RetryPolicy honors it) back off instead of hammering.
+// Rejections that provably happened before any state change (admission
+// shed, on-arrival deadline reject) carry HeaderShed so the client may
+// retry them even on non-idempotent calls; a mid-request
+// context.DeadlineExceeded does not — the work may already be applied.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
@@ -233,8 +237,10 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrOverloaded):
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+		w.Header().Set(HeaderShed, "1")
 	case errors.Is(err, ErrDeadlineUnmeetable):
 		code = http.StatusGatewayTimeout
+		w.Header().Set(HeaderShed, "1")
 	case errors.Is(err, ErrInternal):
 		code = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled):
