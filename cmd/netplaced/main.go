@@ -10,6 +10,21 @@
 //	          [-workers n] [-parallel n] [-solve-timeout 5m]
 //	          [-max-queue n] [-data-dir dir] [-no-sync]
 //	          [-fsync-interval 0]
+//	          [-cluster url1,url2,...] [-self url] [-peer-cache]
+//	          [-no-forward]
+//
+// With -cluster the server is one replica of a sharded netplaced
+// cluster (see docs/cluster.md): -cluster lists every replica's base
+// URL and -self this replica's own. Instances and their sessions are
+// sharded across the replicas by content hash on a consistent-hash
+// ring; requests for keys another replica owns are transparently
+// forwarded to it (with an X-Netplace-Forwarded hop guard), so any
+// replica is a valid entry point — -no-forward disables the forwarding
+// and leaves each replica answering only what it holds, for sharded
+// clients that route themselves. -peer-cache additionally lets a solve
+// that misses the local result cache probe the peers' caches before
+// running the solver, collapsing identical solves cluster-wide;
+// /statz?cluster=1 merges every replica's counters into one view.
 //
 // With -data-dir the server is durable: uploaded instances are
 // snapshotted at registration and every streaming session keeps a
@@ -90,14 +105,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"netplace/internal/cluster"
 	"netplace/internal/service"
 )
 
@@ -117,9 +135,21 @@ func main() {
 		noSync    = flag.Bool("no-sync", false, "skip fsyncs on the persistence path (faster; an OS crash can lose acked events)")
 		maxQueue  = flag.Int("max-queue", 0, "max solve/what-if requests waiting for a worker before shedding with 429 (0: default 256, <0: unbounded)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window: fsync session WALs at most once per interval (0: every append)")
+		clusterL  = flag.String("cluster", "", "comma-separated base URLs of every cluster replica (empty: standalone); see docs/cluster.md")
+		selfURL   = flag.String("self", "", "this replica's own base URL within -cluster")
+		peerCache = flag.Bool("peer-cache", false, "probe cluster peers' solve caches before running a solver (needs -cluster)")
+		noForward = flag.Bool("no-forward", false, "do not proxy requests for keys other replicas own (callers must route themselves)")
 	)
 	flag.Parse()
 
+	var peers []string
+	if *clusterL != "" {
+		for _, u := range strings.Split(*clusterL, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peers = append(peers, strings.TrimRight(u, "/"))
+			}
+		}
+	}
 	srv, err := service.Open(service.Config{
 		MemoryBudget:       *mem,
 		CacheEntries:       *cache,
@@ -133,6 +163,9 @@ func main() {
 		NoSync:             *noSync,
 		MaxSolveQueue:      *maxQueue,
 		FsyncInterval:      *fsyncIvl,
+		Peers:              peers,
+		SelfURL:            *selfURL,
+		PeerCache:          *peerCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netplaced:", err)
@@ -144,6 +177,13 @@ func main() {
 		log.Printf("netplaced data dir %s: recovered %d instances, %d sessions", *dataDir, st.Instances, st.RecoveredSessions)
 	}
 	handler := srv.Handler()
+	if len(peers) > 0 && !*noForward {
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "netplaced: -cluster forwarding needs -self (or pass -no-forward)")
+			os.Exit(1)
+		}
+		handler = cluster.NewProxy(*selfURL, peers, handler, nil)
+	}
 	if *withPprof {
 		// Profiling endpoints are opt-in: they expose internals and cost
 		// stop-the-world pauses (heap profiles, memstats), so production
@@ -167,9 +207,18 @@ func main() {
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests briefly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen explicitly (rather than ListenAndServe) so the actual bound
+	// address is known and logged before any request can arrive — with
+	// -addr :0 the kernel picks the port, and the cluster test harness
+	// reads it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netplaced:", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("netplaced listening on %s", *addr)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("netplaced listening on %s", ln.Addr())
 
 	select {
 	case err := <-errc:

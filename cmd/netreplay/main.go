@@ -27,11 +27,18 @@
 // -resume <session-id> picks the replay up where it stopped by skipping
 // the trace prefix the session already ingested. See docs/resilience.md.
 //
+// Cluster mode (-peers url1,url2,...) is server mode against a sharded
+// netplaced cluster: the replay routes the upload, the session, and
+// every batch to the replica owning the instance on the consistent-hash
+// ring (see docs/cluster.md), with the same retry/re-sync behavior —
+// a replica restarting mid-replay is absorbed transparently.
+//
 // Usage:
 //
 //	netreplay -instance inst.json -trace trace.jsonl [-epoch 256]
 //	          [-window 4] [-alpha 0] [-horizon 0] [-payback 2]
 //	          [-migration-factor 1] [-json] [-server http://host:8723]
+//	          [-peers http://h1:8723,http://h2:8723]
 //	          [-resume session-id]
 //
 // The trace is JSONL, one event per line (see internal/stream.EventJSON):
@@ -54,7 +61,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
+	"netplace/internal/cluster"
 	"netplace/internal/core"
 	"netplace/internal/encode"
 	"netplace/internal/service"
@@ -74,6 +83,7 @@ func main() {
 		migf      = flag.Float64("migration-factor", 0, "hysteresis migration price factor (0: default 1, negative: disabled)")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of a table")
 		server    = flag.String("server", "", "replay against a running netplaced at this base URL instead of in-process")
+		peers     = flag.String("peers", "", "comma-separated replica base URLs of a sharded netplaced cluster; replaces -server (see docs/cluster.md)")
 		resume    = flag.String("resume", "", "server mode: resume this session id, skipping the trace prefix it already ingested")
 	)
 	flag.Parse()
@@ -82,8 +92,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *resume != "" && *server == "" {
-		fmt.Fprintln(os.Stderr, "netreplay: -resume only applies to server mode (-server)")
+	if *server != "" && *peers != "" {
+		fmt.Fprintln(os.Stderr, "netreplay: -server and -peers are mutually exclusive")
+		os.Exit(2)
+	}
+	if *resume != "" && *server == "" && *peers == "" {
+		fmt.Fprintln(os.Stderr, "netreplay: -resume only applies to server mode (-server or -peers)")
 		os.Exit(2)
 	}
 
@@ -108,8 +122,12 @@ func main() {
 		Epoch: *epoch, Window: *window, Alpha: *alpha, Horizon: *horizon,
 		Payback: *payback, MigrationFactor: *migf,
 	}
-	if *server != "" {
-		if err := replayServer(*server, in, seq, cfg, *resume, *asJSON); err != nil {
+	if *server != "" || *peers != "" {
+		c, err := buildClient(*server, *peers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replayServer(c, in, seq, cfg, *resume, *asJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -170,6 +188,45 @@ const serverBatch = 512
 // policy is exhausted before the replay gives up and points at -resume.
 const maxBatchFailures = 3
 
+// replayClient is the slice of the client surface the server-mode
+// replay needs. Both service.Client (-server, one netplaced) and
+// cluster.ShardedClient (-peers, a sharded cluster where every call is
+// routed to the owning replica) satisfy it with identical semantics,
+// so the replay loop — including re-sync after an exhausted retry
+// budget — is oblivious to which deployment it streams into.
+type replayClient interface {
+	Upload(ctx context.Context, name string, in *core.Instance) (service.UploadResponse, error)
+	Session(ctx context.Context, id string) (service.SessionInfo, error)
+	OpenSession(ctx context.Context, instanceID string, cfg service.SessionConfig) (service.SessionInfo, error)
+	SessionEventsSeq(ctx context.Context, id string, seq int64, events []service.SessionEvent) (service.SessionEventsResponse, error)
+	SessionFlush(ctx context.Context, id string) (service.SessionEventsResponse, error)
+	SessionPlacement(ctx context.Context, id string) (service.SessionPlacementResponse, error)
+	CloseSession(ctx context.Context, id string) error
+}
+
+// buildClient assembles the replay client: a plain service.Client for
+// -server, a cluster.ShardedClient for -peers.
+func buildClient(server, peers string) (replayClient, error) {
+	policy := service.DefaultRetryPolicy()
+	if server != "" {
+		c := service.NewClient(server, nil)
+		c.SetRetryPolicy(policy)
+		return c, nil
+	}
+	var urls []string
+	for _, u := range strings.Split(peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	sc, err := cluster.NewShardedClient(urls, nil)
+	if err != nil {
+		return nil, err
+	}
+	sc.SetRetryPolicy(policy)
+	return sc, nil
+}
+
 // replayServer streams the trace into a netplaced session and reports
 // the server-side accounting. Batches carry sequence numbers (batch
 // index + 1 — offsets are batch-aligned because ingestion is
@@ -179,10 +236,8 @@ const maxBatchFailures = 3
 // an existing session instead of opening one, skipping the trace prefix
 // the session already ingested (always a batch boundary of a prior
 // replay, for the same all-or-nothing reason).
-func replayServer(base string, in *core.Instance, seq []workload.Request, cfg stream.Config, resume string, asJSON bool) error {
+func replayServer(c replayClient, in *core.Instance, seq []workload.Request, cfg stream.Config, resume string, asJSON bool) error {
 	ctx := context.Background()
-	c := service.NewClient(base, nil)
-	c.SetRetryPolicy(service.DefaultRetryPolicy())
 	up, err := c.Upload(ctx, "netreplay", in)
 	if err != nil {
 		return err

@@ -291,6 +291,48 @@ func TestResilienceDocs(t *testing.T) {
 	}
 }
 
+// TestClusterDocs asserts the scale-out layer stays documented:
+// docs/cluster.md exists and covers the membership flags, the hash
+// ring, the hop guard, the peer cache, and the merged stats view; the
+// HTTP API page links it (the probe route and peer counters live
+// there); and the two cluster-aware commands' doc comments point at it.
+func TestClusterDocs(t *testing.T) {
+	page, err := os.ReadFile(filepath.Join("docs", "cluster.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"-cluster", "-self", "-peer-cache", "-no-forward",
+		"consistent-hash", "X-Netplace-Forwarded", "/statz?cluster=1",
+		"byte-identical", "-peers",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("docs/cluster.md does not mention %q", want)
+		}
+	}
+	api, err := os.ReadFile(filepath.Join("docs", "http-api.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(api), "cluster.md") {
+		t.Error("docs/http-api.md does not link cluster.md")
+	}
+	daemon, err := os.ReadFile(filepath.Join("cmd", "netplaced", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(daemon), "-cluster") || !strings.Contains(string(daemon), "docs/cluster.md") {
+		t.Error("cmd/netplaced doc comment does not cover -cluster / docs/cluster.md")
+	}
+	replay, err := os.ReadFile(filepath.Join("cmd", "netreplay", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(replay), "-peers") || !strings.Contains(string(replay), "docs/cluster.md") {
+		t.Error("cmd/netreplay doc comment does not cover -peers / docs/cluster.md")
+	}
+}
+
 // receiverType extracts the receiver's type name from a method receiver
 // expression (*T, T, or generic T[...]).
 func receiverType(expr ast.Expr) string {

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"netplace/internal/service"
+)
+
+// peerCacheRun boots a 2-replica cluster (forwarding off, so each
+// replica answers exactly what it is asked), uploads the same instance
+// to BOTH replicas directly, solves it on each in turn, and returns the
+// two results plus the merged cluster stats.
+func peerCacheRun(t *testing.T, peerCache bool) (a, b service.SolveResult, cs service.ClusterStats) {
+	t.Helper()
+	ctx := context.Background()
+	h, err := NewHarness(HarnessConfig{N: 2, BaseDir: t.TempDir(), PeerCache: peerCache, NoForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	in := conformanceInstance(t)
+	cA := service.NewClient(h.URLs()[0], nil)
+	cB := service.NewClient(h.URLs()[1], nil)
+	upA, err := cA.Upload(ctx, "dup", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upB, err := cB.Upload(ctx, "dup", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upA.ID != upB.ID {
+		t.Fatalf("content-derived ids disagree: %s vs %s", upA.ID, upB.ID)
+	}
+
+	if a, err = cA.Solve(ctx, upA.ID, service.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = cB.Solve(ctx, upB.ID, service.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if cs, err = cA.ClusterStats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, cs
+}
+
+// TestPeerCacheCollapsesSolves: with PeerCache on, the second replica's
+// solve of an instance the first already solved is answered from the
+// peer's result cache — one solver execution cluster-wide, visible in
+// the merged /statz?cluster=1 totals. With PeerCache off the replicas
+// fall back to per-process caching and both execute the solver.
+func TestPeerCacheCollapsesSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite; skipped in -short mode")
+	}
+	t.Run("on", func(t *testing.T) {
+		a, b, cs := peerCacheRun(t, true)
+		if b.PeerCached != true {
+			t.Errorf("second solve not marked peer_cached")
+		}
+		if a.PeerCached {
+			t.Errorf("first solve marked peer_cached; nothing to probe yet")
+		}
+		ja, _ := json.Marshal(a.Placement)
+		jb, _ := json.Marshal(b.Placement)
+		if string(ja) != string(jb) {
+			t.Errorf("peer-cached placement diverges:\n a %s\n b %s", ja, jb)
+		}
+		if cs.Totals.Replicas != 2 {
+			t.Fatalf("cluster view sees %d replicas (errors: %v)", cs.Totals.Replicas, cs.Errors)
+		}
+		if cs.Totals.SolvesTotal != 1 {
+			t.Errorf("solves_total = %d across the cluster, want 1 (collapsed)", cs.Totals.SolvesTotal)
+		}
+		// Two probes: the first solve probes its peer too (and misses,
+		// since nothing is cached anywhere yet); only the second hits.
+		if cs.Totals.PeerProbes != 2 || cs.Totals.PeerHits != 1 || cs.Totals.PeerServed != 1 {
+			t.Errorf("peer counters probes=%d hits=%d served=%d, want 2/1/1",
+				cs.Totals.PeerProbes, cs.Totals.PeerHits, cs.Totals.PeerServed)
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		_, b, cs := peerCacheRun(t, false)
+		if b.PeerCached {
+			t.Errorf("peer_cached set with PeerCache disabled")
+		}
+		if cs.Totals.SolvesTotal != 2 {
+			t.Errorf("solves_total = %d with peer cache off, want 2 (per-process)", cs.Totals.SolvesTotal)
+		}
+		if cs.Totals.PeerProbes != 0 || cs.Totals.PeerServed != 0 {
+			t.Errorf("peer counters probes=%d served=%d with peer cache off, want 0/0",
+				cs.Totals.PeerProbes, cs.Totals.PeerServed)
+		}
+	})
+}

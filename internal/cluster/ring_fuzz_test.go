@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingMembership drives random join/leave/lookup interleavings
+// against a model membership set and asserts the ring never loses a key
+// (every probe key always has a live owner) and never returns a dead
+// replica, while each membership change moves only the keys consistent
+// hashing allows: an add moves keys only to the joiner, a remove moves
+// only the leaver's keys. Each input byte is one operation: the low two
+// bits select join/leave/lookup, the next three bits pick one of eight
+// replica names. The checked-in corpus under
+// testdata/fuzz/FuzzRingMembership extends the seeds.
+func FuzzRingMembership(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x04, 0x08, 0x01, 0x05, 0x02, 0x06})
+	f.Add([]byte("join and leave and look up, repeatedly"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256] // bound the op count, not the coverage
+		}
+		r := NewRing(4) // few vnodes: membership churn dominates the run
+		live := map[string]bool{}
+		probes := ringKeys(32)
+		owners := func() []string {
+			out := make([]string, len(probes))
+			for i, key := range probes {
+				out[i] = r.Owner(key)
+			}
+			return out
+		}
+		prev := owners()
+		for opIdx, b := range data {
+			name := fmt.Sprintf("replica-%d", (b>>2)&7)
+			switch b & 3 {
+			case 0, 3: // join (twice as likely, so rings actually grow)
+				changed := r.Add(name)
+				if changed == live[name] {
+					t.Fatalf("op %d: Add(%s) reported %v with live=%v", opIdx, name, changed, live[name])
+				}
+				live[name] = true
+			case 1: // leave
+				if r.Remove(name) != live[name] {
+					t.Fatalf("op %d: Remove(%s) disagreed with model live=%v", opIdx, name, live[name])
+				}
+				delete(live, name)
+			case 2: // lookup of an op-dependent key
+				key := fmt.Sprintf("lookup-%d-%d", opIdx, b)
+				owner := r.Owner(key)
+				if len(live) == 0 {
+					if owner != "" {
+						t.Fatalf("op %d: empty ring returned owner %q", opIdx, owner)
+					}
+				} else if !live[owner] {
+					t.Fatalf("op %d: Owner(%q) = %q, not live", opIdx, key, owner)
+				}
+			}
+			if r.Len() != len(live) {
+				t.Fatalf("op %d: ring has %d members, model %d", opIdx, r.Len(), len(live))
+			}
+			cur := owners()
+			for i, o := range cur {
+				if len(live) == 0 {
+					if o != "" {
+						t.Fatalf("op %d: key %q owned by %q on an empty ring", opIdx, probes[i], o)
+					}
+					continue
+				}
+				if !live[o] {
+					t.Fatalf("op %d: key %q owned by dead replica %q", opIdx, probes[i], o)
+				}
+				if o == prev[i] {
+					continue
+				}
+				// The key moved: only the op's replica may be involved —
+				// gained by a joiner, or abandoned by a leaver.
+				switch b & 3 {
+				case 0, 3:
+					if o != name {
+						t.Fatalf("op %d (join %s): key %q moved %q → %q", opIdx, name, probes[i], prev[i], o)
+					}
+				case 1:
+					if prev[i] != name {
+						t.Fatalf("op %d (leave %s): key %q moved %q → %q", opIdx, name, probes[i], prev[i], o)
+					}
+				case 2:
+					t.Fatalf("op %d (lookup): key %q moved %q → %q without a membership change", opIdx, probes[i], prev[i], o)
+				}
+			}
+			prev = cur
+		}
+	})
+}

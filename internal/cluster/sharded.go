@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"netplace/internal/core"
+	"netplace/internal/encode"
+	"netplace/internal/service"
+)
+
+// ShardedClient routes every instance, solve, and session call to the
+// replica owning the key on the consistent-hash ring, so a caller uses a
+// netplaced cluster exactly like one server. Instances are keyed by
+// their content-derived registry id (service.InstanceIDFor), computed
+// client-side, so an upload goes straight to its owner; a session lives
+// on its instance's owner and its id is returned in the composite form
+// "sid@replicaURL", which later session calls route by parsing — the
+// client itself stays stateless, so two ShardedClients over the same
+// cluster agree on every route.
+//
+// Each per-replica client shares one retry policy (SetRetryPolicy); with
+// sequenced ingest (SessionEventsSeq) a replica restart mid-stream is
+// absorbed transparently: the retry reconnects and the server's
+// idempotent dedup discards anything the torn response already applied.
+type ShardedClient struct {
+	ring     *Ring
+	replicas []string
+	clients  map[string]*service.Client
+}
+
+// NewShardedClient builds a sharded client over the replica base URLs
+// (e.g. "http://127.0.0.1:4001"). httpClient may be nil for
+// http.DefaultClient; retries are off until SetRetryPolicy.
+func NewShardedClient(replicas []string, httpClient *http.Client) (*ShardedClient, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: sharded client needs at least one replica")
+	}
+	sc := &ShardedClient{ring: NewRing(0), clients: make(map[string]*service.Client)}
+	for _, rep := range replicas {
+		rep = strings.TrimRight(rep, "/")
+		if !sc.ring.Add(rep) {
+			continue // duplicate URL
+		}
+		sc.replicas = append(sc.replicas, rep)
+		sc.clients[rep] = service.NewClient(rep, httpClient)
+	}
+	return sc, nil
+}
+
+// SetRetryPolicy installs the retry policy on every per-replica client.
+// Call before sharing the client across goroutines.
+func (sc *ShardedClient) SetRetryPolicy(p service.RetryPolicy) {
+	for _, c := range sc.clients {
+		c.SetRetryPolicy(p)
+	}
+}
+
+// Replicas returns the replica URLs in ring-membership order.
+func (sc *ShardedClient) Replicas() []string { return sc.ring.Members() }
+
+// Owner returns the replica URL owning an instance id.
+func (sc *ShardedClient) Owner(instanceID string) string { return sc.ring.Owner(instanceID) }
+
+// clientFor returns the owning replica's client for an instance key.
+func (sc *ShardedClient) clientFor(instanceID string) *service.Client {
+	return sc.clients[sc.ring.Owner(instanceID)]
+}
+
+// splitSessionID parses the composite "sid@replicaURL" form minted by
+// OpenSession. The replica URL may itself contain '@' in theory, the
+// session id ("s-%06x") never does, so the split is on the FIRST '@'.
+func (sc *ShardedClient) splitSessionID(id string) (sid string, c *service.Client, err error) {
+	sid, rep, ok := strings.Cut(id, "@")
+	if !ok {
+		return "", nil, fmt.Errorf("cluster: session id %q lacks the @replica suffix minted by OpenSession", id)
+	}
+	c, ok = sc.clients[rep]
+	if !ok {
+		return "", nil, fmt.Errorf("cluster: session id %q names unknown replica %q", id, rep)
+	}
+	return sid, c, nil
+}
+
+// Upload registers an instance on its owning replica. The owner is
+// computed from the instance's content hash before any network round
+// trip, so re-uploads of identical content always land on the same
+// replica.
+func (sc *ShardedClient) Upload(ctx context.Context, name string, in *core.Instance) (service.UploadResponse, error) {
+	return sc.clientFor(service.InstanceIDFor(in)).Upload(ctx, name, in)
+}
+
+// Info returns an instance's record from its owning replica.
+func (sc *ShardedClient) Info(ctx context.Context, id string) (service.InstanceInfo, error) {
+	return sc.clientFor(id).Info(ctx, id)
+}
+
+// Delete drops an instance from its owning replica.
+func (sc *ShardedClient) Delete(ctx context.Context, id string) error {
+	return sc.clientFor(id).Delete(ctx, id)
+}
+
+// Solve solves on the instance's owning replica.
+func (sc *ShardedClient) Solve(ctx context.Context, id string, opts service.SolveOptions) (service.SolveResult, error) {
+	return sc.clientFor(id).Solve(ctx, id, opts)
+}
+
+// WhatIf batches options variants on the instance's owning replica.
+func (sc *ShardedClient) WhatIf(ctx context.Context, id string, variants []service.SolveOptions) ([]service.WhatIfOutcome, error) {
+	return sc.clientFor(id).WhatIf(ctx, id, variants)
+}
+
+// Cost evaluates a placement on the instance's owning replica.
+func (sc *ShardedClient) Cost(ctx context.Context, id string, p encode.PlacementJSON) (service.BreakdownJSON, error) {
+	return sc.clientFor(id).Cost(ctx, id, p)
+}
+
+// Simulate replays the instance's workload on its owning replica.
+func (sc *ShardedClient) Simulate(ctx context.Context, id string, p encode.PlacementJSON) (service.SimulationResult, error) {
+	return sc.clientFor(id).Simulate(ctx, id, p)
+}
+
+// OpenSession opens a streaming session on the replica owning the
+// instance and rewrites the returned SessionID to the composite
+// "sid@replicaURL" form every later session call routes by.
+func (sc *ShardedClient) OpenSession(ctx context.Context, instanceID string, cfg service.SessionConfig) (service.SessionInfo, error) {
+	owner := sc.ring.Owner(instanceID)
+	info, err := sc.clients[owner].OpenSession(ctx, instanceID, cfg)
+	if err != nil {
+		return info, err
+	}
+	info.SessionID = info.SessionID + "@" + owner
+	return info, nil
+}
+
+// Session returns a session's record from the replica named in its
+// composite id.
+func (sc *ShardedClient) Session(ctx context.Context, id string) (service.SessionInfo, error) {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return service.SessionInfo{}, err
+	}
+	info, err := c.Session(ctx, sid)
+	if err != nil {
+		return info, err
+	}
+	info.SessionID = id
+	return info, nil
+}
+
+// SessionEvents streams an unsequenced batch to the session's replica.
+// Like service.Client.SessionEvents it is NOT retried on transport
+// faults; prefer SessionEventsSeq on a cluster, where replica restarts
+// are exactly the fault being absorbed.
+func (sc *ShardedClient) SessionEvents(ctx context.Context, id string, events []service.SessionEvent) (service.SessionEventsResponse, error) {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return service.SessionEventsResponse{}, err
+	}
+	return c.SessionEvents(ctx, sid, events)
+}
+
+// SessionEventsSeq streams a sequenced batch to the session's replica —
+// the cluster's idempotent ingest path: retried on any fault, and the
+// owning replica's durable dedup turns the retries into exactly-once.
+func (sc *ShardedClient) SessionEventsSeq(ctx context.Context, id string, seq int64, events []service.SessionEvent) (service.SessionEventsResponse, error) {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return service.SessionEventsResponse{}, err
+	}
+	return c.SessionEventsSeq(ctx, sid, seq, events)
+}
+
+// SessionFlush closes the session's open partial epoch on its replica.
+func (sc *ShardedClient) SessionFlush(ctx context.Context, id string) (service.SessionEventsResponse, error) {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return service.SessionEventsResponse{}, err
+	}
+	return c.SessionFlush(ctx, sid)
+}
+
+// SessionPlacement reads the session's adaptive placement from its
+// replica, echoing the composite id back in the response.
+func (sc *ShardedClient) SessionPlacement(ctx context.Context, id string) (service.SessionPlacementResponse, error) {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return service.SessionPlacementResponse{}, err
+	}
+	resp, err := c.SessionPlacement(ctx, sid)
+	if err != nil {
+		return resp, err
+	}
+	resp.SessionID = id
+	return resp, nil
+}
+
+// CloseSession drops the session on its replica.
+func (sc *ShardedClient) CloseSession(ctx context.Context, id string) error {
+	sid, c, err := sc.splitSessionID(id)
+	if err != nil {
+		return err
+	}
+	return c.CloseSession(ctx, sid)
+}
+
+// Stats snapshots every replica's /statz, keyed by replica URL. A
+// replica that cannot be reached yields an error for its slot in errs
+// (same key); stats holds only the reachable ones.
+func (sc *ShardedClient) Stats(ctx context.Context) (stats map[string]service.Stats, errs map[string]error) {
+	stats = make(map[string]service.Stats)
+	errs = make(map[string]error)
+	for _, rep := range sc.ring.Members() {
+		st, err := sc.clients[rep].Stats(ctx)
+		if err != nil {
+			errs[rep] = err
+			continue
+		}
+		stats[rep] = st
+	}
+	return stats, errs
+}
+
+// Ready reports the first replica that fails its /readyz probe, or nil
+// when every replica is ready.
+func (sc *ShardedClient) Ready(ctx context.Context) error {
+	for _, rep := range sc.ring.Members() {
+		if err := sc.clients[rep].Ready(ctx); err != nil {
+			return fmt.Errorf("cluster: replica %s not ready: %w", rep, err)
+		}
+	}
+	return nil
+}

@@ -286,9 +286,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr map[string
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path,
 			Shed: resp.Header.Get(HeaderShed) != ""}
-		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			apiErr.RetryAfter = time.Duration(ra) * time.Second
-		}
+		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var e errorJSON
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
@@ -308,6 +306,28 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr map[string
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// a non-negative delay in seconds, or an HTTP-date (the delay is then
+// the time remaining until it). Unparseable or past values yield 0 —
+// the backoff policy takes over rather than guessing.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Upload registers an instance under an optional name and returns its
@@ -474,6 +494,26 @@ func (c *Client) CloseSession(ctx context.Context, id string) error {
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
 	err := c.do(ctx, http.MethodGet, "/statz", nil, &out)
+	return out, err
+}
+
+// ClusterStats snapshots the cluster-wide /statz view: the server fans
+// out to its configured peers and merges every reachable replica's
+// counters (GET /statz?cluster=1). On a standalone server the view
+// contains just that server.
+func (c *Client) ClusterStats(ctx context.Context) (ClusterStats, error) {
+	var out ClusterStats
+	err := c.do(ctx, http.MethodGet, "/statz?cluster=1", nil, &out)
+	return out, err
+}
+
+// CacheProbe asks the server whether it holds a cached solve of
+// (instance content hash, options) — the cluster peer-cache protocol's
+// wire call (POST /v1/cache/probe). Servers answer from the result cache
+// only; a probe never triggers a solve.
+func (c *Client) CacheProbe(ctx context.Context, hash string, opts SolveOptions) (CacheProbeResponse, error) {
+	var out CacheProbeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cache/probe", CacheProbeRequest{Hash: hash, Options: opts}, &out)
 	return out, err
 }
 

@@ -19,6 +19,21 @@ import (
 // lost, exactly like a real crash. TruncateWAL additionally simulates a
 // torn final write by cutting the current WAL generation at an
 // arbitrary byte offset.
+//
+// The multi-process sibling is cluster.Harness (internal/cluster),
+// which kills whole netplaced processes instead of in-process servers.
+// Both follow the same flake-hardening pattern, which any new
+// process-spawning test should too:
+//
+//   - Ports are pre-allocated by binding 127.0.0.1:0 and closing, never
+//     chosen from a fixed range; the close-to-exec race window is
+//     covered by retrying the whole boot with fresh ports.
+//   - Readiness is only ever established by polling /readyz until 200
+//     (failing fast if the process exits meanwhile) — never by sleeping
+//     a guessed duration. Guessed sleeps are where timing flakes live.
+//   - Crash points sit at acked-batch boundaries, so the durable prefix
+//     is deterministic and assertions can demand byte identity instead
+//     of tolerating a loss window.
 type CrashHarness struct {
 	dir string
 	cfg Config

@@ -232,6 +232,10 @@ type SolveResult struct {
 	// it was computed once for several concurrent identical requests.
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared,omitempty"`
+	// PeerCached reports that this replica answered from a cluster peer's
+	// solve cache (Config.PeerCache) instead of running the solver; the
+	// placement bytes are the peer's verbatim. See docs/cluster.md.
+	PeerCached bool `json:"peer_cached,omitempty"`
 	// Scenario echoes the label of the what-if scenario this result answers.
 	Scenario string `json:"scenario,omitempty"`
 	// Incremental reports that the scenario was served by the incremental
@@ -268,6 +272,13 @@ type Engine struct {
 	// testHookSolveStart, when non-nil, runs at the top of every solver
 	// execution; tests use it to hold a run in flight deterministically.
 	testHookSolveStart func()
+
+	// peerProbe, when non-nil, asks the cluster peers' solve caches for
+	// (instance hash, normalized options) before running the solver. Set
+	// by Server.setupPeers under Config.PeerCache; it runs inside the
+	// singleflight leader so concurrent local duplicates share one probe
+	// round (see docs/cluster.md).
+	peerProbe func(ctx context.Context, hash string, opts SolveOptions) (*SolveResult, bool)
 }
 
 // NewEngine assembles an engine over a registry. counters may be shared
@@ -337,6 +348,17 @@ func (e *Engine) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 			counted = true
 		}
 		val, err, shared := e.flight.Do(ctx, key, func() (any, error) {
+			if e.peerProbe != nil {
+				if res, ok := e.peerProbe(ctx, info.Hash, opts); ok {
+					// A peer already solved this: adopt its result verbatim
+					// (bytes must match a local run — the conformance suite
+					// pins that) and cache it here like our own.
+					res.PeerCached = true
+					e.cache.Put(key, res)
+					e.keepStale(info.Hash, res)
+					return res, nil
+				}
+			}
 			res, err := e.run(ctx, info.ID, in, opts)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// This file is the server half of netplaced clustering (see
+// docs/cluster.md): the peer solve-cache probe endpoint, the outgoing
+// probe path the engine consults before running a solver, and the
+// cluster-wide /statz merge. The routing halves — consistent-hash ring,
+// ShardedClient, stateless proxy — live in internal/cluster, which
+// builds on this package.
+
+// HeaderForwarded is the proxy hop guard: a replica forwarding a request
+// it does not own sets it, and a replica receiving it serves locally no
+// matter what the ring says — so a stale ring or a membership
+// disagreement degrades to one extra hop, never a forwarding loop.
+const HeaderForwarded = "X-Netplace-Forwarded"
+
+// CacheProbeRequest is the body of POST /v1/cache/probe: a peer asking
+// whether this replica has already solved (hash, options). Hash is the
+// instance content hash (InstanceInfo.Hash), not the registry id, so a
+// replica can answer even when it registered the instance under a label.
+type CacheProbeRequest struct {
+	Hash    string       `json:"hash"`
+	Options SolveOptions `json:"options,omitzero"`
+}
+
+// CacheProbeResponse is the probe answer. Found is false when this
+// replica has no cached result for the key; Result is set iff Found.
+type CacheProbeResponse struct {
+	Found  bool         `json:"found"`
+	Result *SolveResult `json:"result,omitempty"`
+}
+
+// handleCacheProbe is POST /v1/cache/probe: answer a peer's solve-cache
+// probe straight from the result cache. It never solves, never blocks on
+// the worker pool, and never probes further peers — the caller is a
+// singleflight leader on its own replica, so anything but a map lookup
+// here would cascade load instead of collapsing it.
+func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
+	var req CacheProbeRequest
+	if err := decodeBody(w, r, s.cfg.MaxUploadBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	opts, err := req.Options.normalize()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, ok := s.engine.cachedResult(req.Hash, opts)
+	if !ok {
+		writeJSON(w, http.StatusOK, CacheProbeResponse{})
+		return
+	}
+	s.counters.peerServed.Add(1)
+	writeJSON(w, http.StatusOK, CacheProbeResponse{Found: true, Result: res})
+}
+
+// cachedResult looks a (hash, normalized options) pair up in the result
+// cache without counting a hit or miss — the probe answers on behalf of
+// a peer's solve, not a local one.
+func (e *Engine) cachedResult(hash string, opts SolveOptions) (*SolveResult, bool) {
+	v, ok := e.cache.Get(hash + "|" + opts.key())
+	if !ok {
+		return nil, false
+	}
+	out := *v.(*SolveResult)
+	return &out, true
+}
+
+// peerSet holds the probe clients for the configured peers. Built once
+// at server construction; the probe clients carry no retry policy (a
+// probe is an optimization — on any fault the solve just runs locally)
+// and every probe is bounded by Config.PeerTimeout.
+type peerSet struct {
+	urls    []string
+	clients []*Client
+	timeout time.Duration
+}
+
+// setupPeers filters SelfURL out of cfg.Peers and builds one probe
+// client per remaining peer, wiring the engine's peer-probe hook when
+// PeerCache is on.
+func (s *Server) setupPeers() {
+	var urls []string
+	for _, u := range s.cfg.Peers {
+		if u != "" && u != s.cfg.SelfURL {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return
+	}
+	ps := &peerSet{urls: urls, timeout: s.cfg.PeerTimeout}
+	for _, u := range urls {
+		ps.clients = append(ps.clients, NewClient(u, nil))
+	}
+	s.peers = ps
+	if s.cfg.PeerCache {
+		s.engine.peerProbe = s.probePeers
+	}
+}
+
+// probePeers asks each peer in turn whether it already solved (hash,
+// opts), returning the first cached result found. Sequential on purpose:
+// the common case is a small cluster where the owner answers first, and
+// a fan-out would multiply probe load quadratically under a cache-miss
+// storm. Every per-peer error is swallowed — a probe can only save work,
+// never fail the solve.
+func (s *Server) probePeers(ctx context.Context, hash string, opts SolveOptions) (*SolveResult, bool) {
+	for _, pc := range s.peers.clients {
+		s.counters.peerProbes.Add(1)
+		pctx, cancel := context.WithTimeout(ctx, s.peers.timeout)
+		var resp CacheProbeResponse
+		err := pc.do(pctx, http.MethodPost, "/v1/cache/probe",
+			CacheProbeRequest{Hash: hash, Options: opts}, &resp)
+		cancel()
+		if err != nil || !resp.Found || resp.Result == nil {
+			continue
+		}
+		s.counters.peerHits.Add(1)
+		return resp.Result, true
+	}
+	return nil, false
+}
+
+// clusterStats fans the plain /statz request out to every peer and
+// merges the snapshots into the cluster-wide view. Peers are asked for
+// plain /statz (never ?cluster=1), so two replicas gossiping about each
+// other cannot recurse. Unreachable peers degrade to an entry in Errors
+// rather than failing the request.
+func (s *Server) clusterStats(ctx context.Context) ClusterStats {
+	self := s.cfg.SelfURL
+	if self == "" {
+		self = "self"
+	}
+	out := ClusterStats{Self: self, Replicas: map[string]Stats{self: s.Stats()}}
+	if s.peers != nil {
+		type fetched struct {
+			url string
+			st  Stats
+			err error
+		}
+		results := make(chan fetched, len(s.peers.clients))
+		for i, pc := range s.peers.clients {
+			go func(url string, pc *Client) {
+				pctx, cancel := context.WithTimeout(ctx, s.peers.timeout)
+				defer cancel()
+				st, err := pc.Stats(pctx)
+				results <- fetched{url: url, st: st, err: err}
+			}(s.peers.urls[i], pc)
+		}
+		for range s.peers.clients {
+			f := <-results
+			if f.err != nil {
+				if out.Errors == nil {
+					out.Errors = map[string]string{}
+				}
+				out.Errors[f.url] = f.err.Error()
+				continue
+			}
+			out.Replicas[f.url] = f.st
+		}
+	}
+	for _, st := range out.Replicas {
+		out.Totals.Replicas++
+		out.Totals.Instances += st.Instances
+		out.Totals.SolvesTotal += st.SolvesTotal
+		out.Totals.CacheHits += st.CacheHits
+		out.Totals.CacheMisses += st.CacheMisses
+		out.Totals.PeerProbes += st.PeerProbes
+		out.Totals.PeerHits += st.PeerHits
+		out.Totals.PeerServed += st.PeerServed
+		out.Totals.SessionsOpen += st.SessionsOpen
+		out.Totals.SessionEvents += st.SessionEvents
+		out.Totals.SessionEpochs += st.SessionEpochs
+		out.Totals.Sheds += st.Sheds
+	}
+	return out
+}

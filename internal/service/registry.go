@@ -38,6 +38,14 @@ type InstanceInfo struct {
 // bits, far beyond collision range for any realistic instance count.
 const idLen = 16
 
+// InstanceIDFor computes the registry id an instance gets when uploaded
+// — the content-hash prefix, identical on every replica. The cluster
+// routing layer (internal/cluster) uses it to know an upload's owner
+// before any server has seen the instance.
+func InstanceIDFor(in *core.Instance) string {
+	return encode.HashInstance(in)[:idLen]
+}
+
 // Registry keeps uploaded instances resident and identity-deduplicated by
 // content hash, evicting least-recently-used instances once the estimated
 // memory exceeds the budget. Safe for concurrent use.

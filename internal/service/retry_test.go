@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins the Retry-After header grammar (RFC 9110):
+// delay-seconds or an HTTP-date, with anything unparseable, zero,
+// negative, or already in the past collapsing to "no server guidance".
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"soon", 0},
+		{"3.5", 0},                           // RFC grammar is integral seconds
+		{"Mon, 02 Jan 2006 15:04:05 GMT", 0}, // long past
+	} {
+		if got := parseRetryAfter(tc.header); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	// A future HTTP-date yields the remaining wait: positive, bounded by
+	// the nominal offset.
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 3*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want within (0, 3s]", future, d)
+	}
+}
+
+// TestClientRetryAfterHTTPDate: a 503 carrying an HTTP-date Retry-After
+// steers the retry wait exactly like the delay-seconds form.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	ctx := context.Background()
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /flaky", func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"draining"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewClient(ts.URL, ts.Client())
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(ctx context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	})
+	if err := c.do(ctx, http.MethodGet, "/flaky", nil, nil); err != nil {
+		t.Fatalf("flaky GET: %v", err)
+	}
+	// The single wait came from the HTTP-date (≈30s, shrunk only by
+	// handler-to-parse latency), not from the 1ms backoff.
+	if len(slept) != 1 || slept[0] <= 25*time.Second || slept[0] > 30*time.Second {
+		t.Fatalf("slept %v, want one wait within (25s, 30s]", slept)
+	}
+}
+
+// TestClientBackoffJitterBounds pins the jitter contract: every delay
+// stays within ±Jitter·delay of the nominal exponential value, the
+// seeded source actually spreads (not a constant offset), and a server
+// Retry-After bypasses jitter entirely.
+func TestClientBackoffJitterBounds(t *testing.T) {
+	c := NewClient("http://unused", nil)
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 9,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+		Jitter:      0.2,
+		Seed:        1,
+	})
+	plain := fmt.Errorf("reset")
+	nominal := map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		8: 400 * time.Millisecond, // capped
+	}
+	for attempt, base := range nominal {
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		distinct := make(map[time.Duration]bool)
+		for i := 0; i < 200; i++ {
+			d := c.backoff(attempt, plain)
+			if d < lo || d > hi {
+				t.Fatalf("backoff(%d) sample %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("backoff(%d) never varied across 200 samples", attempt)
+		}
+	}
+	// Server guidance is authoritative: no jitter is applied on top.
+	for i := 0; i < 20; i++ {
+		if d := c.backoff(1, &APIError{Status: 429, RetryAfter: 5 * time.Second}); d != 5*time.Second {
+			t.Fatalf("Retry-After delay jittered to %v", d)
+		}
+	}
+}
+
+// TestClientShedHeaderDecode: the shed marker crosses the wire — an
+// APIError decoded from an X-Netplace-Shed 504 carries Shed=true and is
+// therefore retryable even on non-idempotent calls, while the same 504
+// without the header stays gated (a proxy may have minted it after the
+// backend applied the request).
+func TestClientShedHeaderDecode(t *testing.T) {
+	ctx := context.Background()
+	var shed atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /busy", func(w http.ResponseWriter, r *http.Request) {
+		if shed.Load() {
+			w.Header().Set(HeaderShed, "1")
+		}
+		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "overloaded"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client()) // no retry policy: one attempt
+
+	for _, markShed := range []bool{true, false} {
+		shed.Store(markShed)
+		err := c.do(ctx, http.MethodGet, "/busy", nil, nil)
+		ae, ok := err.(*APIError)
+		if !ok {
+			t.Fatalf("shed=%v: error not typed: %v", markShed, err)
+		}
+		if ae.Shed != markShed {
+			t.Errorf("shed=%v: decoded Shed=%v", markShed, ae.Shed)
+		}
+		if !retryableError(ae, false) != !markShed {
+			t.Errorf("shed=%v: non-idempotent retryability %v", markShed, retryableError(ae, false))
+		}
+	}
+}

@@ -45,9 +45,11 @@ var ErrInternal = errors.New("service: internal error")
 //	POST   /v1/sessions/{id}/events   stream request events into a session
 //	POST   /v1/sessions/{id}/flush    close the open partial epoch
 //	GET    /v1/sessions/{id}/placement  current adaptive placement + stats
+//	POST   /v1/cache/probe            peer solve-cache probe {hash, options}
 //	GET    /healthz                   liveness probe
 //	GET    /readyz                    readiness probe (503 during recovery/drain)
-//	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …)
+//	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …);
+//	                                  ?cluster=1 merges every replica's snapshot
 type Server struct {
 	cfg      Config
 	engine   *Engine
@@ -55,7 +57,8 @@ type Server struct {
 	counters counters
 	start    time.Time
 	mux      *http.ServeMux
-	store    *store // nil: in-memory server (New, or Open without DataDir)
+	store    *store   // nil: in-memory server (New, or Open without DataDir)
+	peers    *peerSet // nil: standalone (no Config.Peers)
 
 	ready    atomic.Bool // recovery finished; cleared never (drain uses draining)
 	draining atomic.Bool // BeginDrain called: /readyz answers 503
@@ -83,9 +86,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleSessionFlush)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/placement", s.handleSessionPlacement)
+	s.mux.HandleFunc("POST /v1/cache/probe", s.handleCacheProbe)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
+	s.setupPeers()
 	// New builds a complete in-memory server: ready immediately. Open
 	// re-clears the flag while recovery replays WALs.
 	s.ready.Store(true)
@@ -205,6 +210,11 @@ func (s *Server) Stats() Stats {
 		RetriesObserved:      s.counters.retriesObserved.Load(),
 		DeadlineRejects:      s.counters.deadlineRejects.Load(),
 		DedupedBatches:       s.counters.dedupedBatches.Load(),
+		Peers:                len(s.cfg.Peers),
+		PeerCache:            s.cfg.PeerCache,
+		PeerProbes:           s.counters.peerProbes.Load(),
+		PeerHits:             s.counters.peerHits.Load(),
+		PeerServed:           s.counters.peerServed.Load(),
 	}
 }
 
@@ -475,5 +485,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("cluster") != "" {
+		writeJSON(w, http.StatusOK, s.clusterStats(r.Context()))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }

@@ -104,6 +104,25 @@ type Config struct {
 	// interval. 0 fsyncs every append (the strict durability default);
 	// the knob is moot under NoSync. Snapshot writes always fsync.
 	FsyncInterval time.Duration
+	// Peers lists the base URLs of the other replicas in a netplaced
+	// cluster (SelfURL, if present in the list, is skipped). Empty means
+	// standalone — every cluster feature below is inert. See
+	// docs/cluster.md.
+	Peers []string
+	// SelfURL is this replica's own advertised base URL; it keys the
+	// replica in /statz?cluster=1 and is filtered out of Peers so a
+	// replica never probes itself.
+	SelfURL string
+	// PeerCache lets a solve that misses the local result cache probe the
+	// peers' caches (POST /v1/cache/probe) before running the solver, so
+	// identical solves collapse cluster-wide, not just per process. The
+	// probe runs inside the local singleflight leader: concurrent local
+	// duplicates still cost one probe round. Off by default.
+	PeerCache bool
+	// PeerTimeout caps one peer cache probe or /statz gossip fetch.
+	// 0 selects DefaultPeerTimeout. Probes are best-effort: a slow or
+	// dead peer costs at most this long, never a failed solve.
+	PeerTimeout time.Duration
 }
 
 // Defaults applied by New for zero Config fields.
@@ -115,6 +134,7 @@ const (
 	DefaultMaxBatchVariants = 64
 	DefaultMaxSessions      = 64
 	DefaultMaxSolveQueue    = 256
+	DefaultPeerTimeout      = 2 * time.Second
 )
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -142,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSolveQueue == 0 {
 		c.MaxSolveQueue = DefaultMaxSolveQueue
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
 	}
 	return c
 }
@@ -181,6 +204,10 @@ type counters struct {
 	persistErrors     atomic.Int64 // failed persistence operations (logged, mostly non-fatal)
 	recoveredSessions atomic.Int64 // sessions rebuilt from snapshot+WAL at startup
 	walDiscarded      atomic.Int64 // torn WAL tail bytes discarded at recovery
+
+	peerProbes atomic.Int64 // cache probes this replica sent to peers
+	peerHits   atomic.Int64 // probes that found a peer's cached result
+	peerServed atomic.Int64 // probes from peers this replica answered with a result
 
 	sheds           atomic.Int64 // solves rejected by admission control (429)
 	staleReads      atomic.Int64 // degraded stale placements served under overload
@@ -302,4 +329,52 @@ type Stats struct {
 	RetriesObserved int64 `json:"retries_observed"`
 	DeadlineRejects int64 `json:"deadline_rejects"`
 	DedupedBatches  int64 `json:"deduped_batches"`
+	// Peers is the configured peer count and PeerCache whether the
+	// cluster-wide solve-cache probe is enabled. PeerProbes / PeerHits
+	// count cache probes this replica SENT to peers (and how many found a
+	// result there); PeerServed counts probes FROM peers this replica
+	// answered with a cached result. A solve answered on replica A and
+	// probed from replica B shows as peer_hits=1 on B and peer_served=1
+	// on A, with solves_total summing to 1 cluster-wide (see
+	// docs/cluster.md).
+	Peers      int   `json:"peers"`
+	PeerCache  bool  `json:"peer_cache"`
+	PeerProbes int64 `json:"peer_probes"`
+	PeerHits   int64 `json:"peer_hits"`
+	PeerServed int64 `json:"peer_served"`
+}
+
+// ClusterStats is the cluster-wide /statz view (GET /statz?cluster=1):
+// the serving replica fans the plain /statz request out to its peers and
+// merges every reachable snapshot. See docs/cluster.md.
+type ClusterStats struct {
+	// Self is the serving replica's advertised URL (Config.SelfURL, or
+	// "self" when unset).
+	Self string `json:"self"`
+	// Replicas maps each replica URL (Self included) to its own Stats
+	// snapshot. Unreachable peers are absent here and listed in Errors.
+	Replicas map[string]Stats `json:"replicas"`
+	// Errors maps unreachable peer URLs to the fetch error.
+	Errors map[string]string `json:"errors,omitempty"`
+	// Totals sums the load-bearing counters across reachable replicas.
+	Totals ClusterTotals `json:"totals"`
+}
+
+// ClusterTotals sums the counters that make cluster-wide behavior
+// legible: whether identical solves collapsed (SolvesTotal vs
+// CacheHits+PeerHits), how much ingest the cluster absorbed, and how
+// much it shed.
+type ClusterTotals struct {
+	Replicas      int   `json:"replicas"`
+	Instances     int   `json:"instances"`
+	SolvesTotal   int64 `json:"solves_total"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	PeerProbes    int64 `json:"peer_probes"`
+	PeerHits      int64 `json:"peer_hits"`
+	PeerServed    int64 `json:"peer_served"`
+	SessionsOpen  int   `json:"sessions_open"`
+	SessionEvents int64 `json:"session_events"`
+	SessionEpochs int64 `json:"session_epochs"`
+	Sheds         int64 `json:"sheds"`
 }
