@@ -11,7 +11,10 @@
 //	          [-max-queue n] [-data-dir dir] [-no-sync]
 //	          [-fsync-interval 0]
 //	          [-cluster url1,url2,...] [-self url] [-peer-cache]
-//	          [-no-forward]
+//	          [-no-forward] [-peer-timeout 2s] [-probe-interval 1s]
+//	          [-breaker-threshold 3] [-breaker-backoff 250ms]
+//	          [-successor url]
+//	netplaced -drain-peer url -cluster url1,url2,...
 //
 // With -cluster the server is one replica of a sharded netplaced
 // cluster (see docs/cluster.md): -cluster lists every replica's base
@@ -25,6 +28,25 @@
 // that misses the local result cache probe the peers' caches before
 // running the solver, collapsing identical solves cluster-wide;
 // /statz?cluster=1 merges every replica's counters into one view.
+//
+// The cluster is self-healing: every replica tracks its peers with
+// per-peer circuit breakers fed by a background /readyz prober (every
+// -probe-interval; negative disables) and by passive traffic errors.
+// After -breaker-threshold consecutive failures a peer's breaker opens
+// and requests that need it fail fast with 503, an
+// X-Netplace-Replica-Down header, and a Retry-After matching the
+// breaker's reopen-probe backoff (-breaker-backoff, doubled per failed
+// probe). Each replica also pushes a read-only snapshot of every
+// instance it owns to its ring successor (the next member in sorted
+// -cluster order, overridable with -successor), so stale-tolerant
+// reads — solve, cost, and instance info carrying
+// X-Netplace-Allow-Stale — fail over to the successor while the owner
+// is partitioned; writes surface the typed 503 until it heals.
+// -drain-peer gracefully retires a replica instead: the target drains
+// (final snapshots, WAL flush), every surviving replica drops it from
+// the ring via POST /v1/cluster/drain, and its instances are re-homed
+// across the survivors. See docs/cluster.md ("Failure modes &
+// membership").
 //
 // With -data-dir the server is durable: uploaded instances are
 // snapshotted at registration and every streaming session keeps a
@@ -75,6 +97,7 @@
 //	                                  scenarios (incremental re-solve)
 //	POST   /instances/{id}/cost       price a client-supplied placement
 //	POST   /instances/{id}/simulate   message-level replay of the workload
+//	GET    /instances/{id}/export     instance snapshot (replication/drain)
 //	POST   /v1/sessions               open a streaming adaptive session
 //	GET    /v1/sessions               list open sessions
 //	GET    /v1/sessions/{id}          session record + stats
@@ -82,6 +105,10 @@
 //	POST   /v1/sessions/{id}/events   stream request events (epoch re-solve)
 //	POST   /v1/sessions/{id}/flush    close the open partial epoch
 //	GET    /v1/sessions/{id}/placement  current adaptive placement
+//	PUT    /v1/replica/instances/{id} push a replica snapshot (internal)
+//	DELETE /v1/replica/instances/{id} drop a replica snapshot (internal)
+//	GET    /v1/replica/instances      list held replica snapshots
+//	POST   /v1/cluster/drain          drain this replica / remove a peer
 //	GET    /healthz                   liveness
 //	GET    /readyz                    readiness (503 while recovering or draining)
 //	GET    /statz                     cache/solve/eviction/incremental/session statistics
@@ -139,6 +166,12 @@ func main() {
 		selfURL   = flag.String("self", "", "this replica's own base URL within -cluster")
 		peerCache = flag.Bool("peer-cache", false, "probe cluster peers' solve caches before running a solver (needs -cluster)")
 		noForward = flag.Bool("no-forward", false, "do not proxy requests for keys other replicas own (callers must route themselves)")
+		peerTime  = flag.Duration("peer-timeout", 0, "per-peer cap on cache probes, gossip fetches, and health probes (0: default 2s)")
+		probeIvl  = flag.Duration("probe-interval", 0, "peer /readyz health-probe interval (0: default 1s, <0: passive-only breakers)")
+		bThresh   = flag.Int("breaker-threshold", 0, "consecutive peer failures before its circuit breaker opens (0: default 3)")
+		bBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker reopen-probe backoff, doubled per failed probe (0: default 250ms)")
+		succFlag  = flag.String("successor", "", "replica URL to push instance replica snapshots to (empty: next -cluster member in sorted order)")
+		drainPeer = flag.String("drain-peer", "", "drain this replica URL out of -cluster and re-home its instances, then exit")
 	)
 	flag.Parse()
 
@@ -149,6 +182,17 @@ func main() {
 				peers = append(peers, strings.TrimRight(u, "/"))
 			}
 		}
+	}
+	if *drainPeer != "" {
+		if err := drainPeerCmd(strings.TrimRight(*drainPeer, "/"), peers); err != nil {
+			fmt.Fprintln(os.Stderr, "netplaced: drain-peer:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	succURL := strings.TrimRight(*succFlag, "/")
+	if succURL == "" && *selfURL != "" {
+		succURL = cluster.SuccessorOf(peers, strings.TrimRight(*selfURL, "/"))
 	}
 	srv, err := service.Open(service.Config{
 		MemoryBudget:       *mem,
@@ -166,6 +210,11 @@ func main() {
 		Peers:              peers,
 		SelfURL:            *selfURL,
 		PeerCache:          *peerCache,
+		PeerTimeout:        *peerTime,
+		ProbeInterval:      *probeIvl,
+		BreakerThreshold:   *bThresh,
+		BreakerBackoff:     *bBackoff,
+		SuccessorURL:       succURL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netplaced:", err)
@@ -182,7 +231,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netplaced: -cluster forwarding needs -self (or pass -no-forward)")
 			os.Exit(1)
 		}
-		handler = cluster.NewProxy(*selfURL, peers, handler, nil)
+		p := cluster.NewProxy(*selfURL, peers, handler, nil)
+		// Share the server's breaker set with the proxy so passive
+		// errors, prober verdicts, and proxy forwards all feed (and
+		// honor) the same per-peer state.
+		if h := srv.PeerHealth(); h != nil {
+			p.UseHealth(h)
+		}
+		handler = p
 	}
 	if *withPprof {
 		// Profiling endpoints are opt-in: they expose internals and cost
@@ -244,6 +300,74 @@ func main() {
 		}
 		log.Printf("netplaced drained cleanly")
 	}
+}
+
+// drainPeerCmd retires one replica from a running cluster: export its
+// instances while it still answers, drain it (final session snapshots
+// and WAL flush, /readyz flips to 503), remove it from every surviving
+// replica's ring, then re-home the exported instances across the
+// survivors via a sharded upload. The drained process is left running
+// in its drained state for the operator to stop.
+func drainPeerCmd(target string, peers []string) error {
+	if target == "" {
+		return fmt.Errorf("needs a replica URL")
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("needs -cluster listing every replica")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	tc := service.NewClient(target, nil)
+
+	infos, err := tc.List(ctx)
+	if err != nil {
+		return fmt.Errorf("listing instances on %s: %w", target, err)
+	}
+	exports := make([]service.InstanceExport, 0, len(infos))
+	for _, info := range infos {
+		exp, err := tc.Export(ctx, info.ID)
+		if err != nil {
+			return fmt.Errorf("exporting instance %s from %s: %w", info.ID, target, err)
+		}
+		exports = append(exports, exp)
+	}
+
+	resp, err := tc.ClusterDrain(ctx, "")
+	if err != nil {
+		return fmt.Errorf("draining %s: %w", target, err)
+	}
+	log.Printf("netplaced drain-peer: %s %s (%d sessions drained)", target, resp.Status, resp.SessionsDrained)
+
+	var survivors []string
+	for _, p := range peers {
+		if p == target {
+			continue
+		}
+		if _, err := service.NewClient(p, nil).ClusterDrain(ctx, target); err != nil {
+			return fmt.Errorf("removing %s from %s: %w", target, p, err)
+		}
+		survivors = append(survivors, p)
+	}
+	if len(survivors) == 0 {
+		log.Printf("netplaced drain-peer: no survivors; %d instances not re-homed", len(exports))
+		return nil
+	}
+
+	sc, err := cluster.NewShardedClient(survivors, nil)
+	if err != nil {
+		return err
+	}
+	for _, exp := range exports {
+		in, err := exp.Instance.Instance()
+		if err != nil {
+			return fmt.Errorf("decoding exported instance %q: %w", exp.Name, err)
+		}
+		if _, err := sc.Upload(ctx, exp.Name, in); err != nil {
+			return fmt.Errorf("re-homing instance %q: %w", exp.Name, err)
+		}
+	}
+	log.Printf("netplaced drain-peer: re-homed %d instances across %d survivors", len(exports), len(survivors))
+	return nil
 }
 
 // handleMemz renders a runtime heap/GC snapshot: the numbers an operator

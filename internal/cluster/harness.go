@@ -50,6 +50,11 @@ type HarnessConfig struct {
 	NoForward bool
 	// ExtraArgs appends additional netplaced flags to every replica.
 	ExtraArgs []string
+	// FaultProxy interposes a TCP fault proxy in front of every
+	// replica: the advertised URL is the proxy's port, the process
+	// listens on a private inner port, and SetFault can partition a
+	// replica (blackhole, reset, one-way) without touching its process.
+	FaultProxy bool
 	// Binary is the netplaced executable to run. Empty uses the
 	// NETPLACED_BIN environment variable or, failing that, builds
 	// netplace/cmd/netplaced once per test process.
@@ -72,6 +77,20 @@ type Replica struct {
 	logPath string
 	cmd     *exec.Cmd
 	waitCh  chan error
+
+	// innerPort is the process's real listen port when a fault proxy
+	// owns the advertised one; zero otherwise.
+	innerPort int
+	fault     *faultProxy
+}
+
+// listenPort is the port the replica process itself binds: the inner
+// port behind a fault proxy, else the advertised one.
+func (r *Replica) listenPort() int {
+	if r.fault != nil {
+		return r.innerPort
+	}
+	return r.port
 }
 
 // netplacedBuild memoizes building the netplaced binary once per test
@@ -181,6 +200,21 @@ func (h *Harness) tryStart() error {
 		}
 		r.port = port
 		r.URL = "http://127.0.0.1:" + strconv.Itoa(port)
+		if h.cfg.FaultProxy {
+			inner, err := allocPort()
+			if err != nil {
+				return err
+			}
+			r.innerPort = inner
+			// The proxy binds the advertised port right now and holds
+			// it for the replica's lifetime, so only the inner port is
+			// exposed to the close-to-exec race.
+			fp, err := newFaultProxy("127.0.0.1:"+strconv.Itoa(port), "127.0.0.1:"+strconv.Itoa(inner))
+			if err != nil {
+				return err
+			}
+			r.fault = fp
+		}
 	}
 	for _, r := range h.rep {
 		if err := h.StartReplica(r.Index); err != nil {
@@ -203,7 +237,7 @@ func (h *Harness) StartReplica(i int) error {
 		urls[j] = rr.URL
 	}
 	args := []string{
-		"-addr", "127.0.0.1:" + strconv.Itoa(r.port),
+		"-addr", "127.0.0.1:" + strconv.Itoa(r.listenPort()),
 		"-data-dir", r.DataDir,
 		"-cluster", strings.Join(urls, ","),
 		"-self", r.URL,
@@ -302,14 +336,34 @@ func (h *Harness) Restart(i int) error {
 	return h.awaitOne(h.rep[i])
 }
 
-// Stop kills every running replica; safe to defer unconditionally.
+// Stop kills every running replica and tears down fault proxies; safe
+// to defer unconditionally.
 func (h *Harness) Stop() {
 	for i, r := range h.rep {
 		if r.cmd != nil {
 			h.Kill(i) //nolint:errcheck // teardown is best-effort
 		}
+		if r.fault != nil {
+			r.fault.Close()
+			r.fault = nil
+		}
 	}
 }
+
+// SetFault applies a fault mode to one replica's TCP proxy; the
+// harness must have been built with FaultProxy. Existing connections
+// through the proxy are severed so the fault is felt immediately.
+func (h *Harness) SetFault(i int, mode FaultMode) error {
+	r := h.rep[i]
+	if r.fault == nil {
+		return fmt.Errorf("cluster: replica %d has no fault proxy (HarnessConfig.FaultProxy not set)", i)
+	}
+	r.fault.SetMode(mode)
+	return nil
+}
+
+// Heal clears any fault on one replica's TCP proxy.
+func (h *Harness) Heal(i int) error { return h.SetFault(i, FaultNone) }
 
 // URLs returns every replica's base URL in index order.
 func (h *Harness) URLs() []string {

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"netplace/internal/service"
 )
@@ -44,10 +47,18 @@ func uploadInstanceID(body []byte) (string, error) {
 // stateless, at the price of a fan-out for misdirected session calls.
 // Everything else (list endpoints, probes, /statz) is local.
 type Proxy struct {
+	// mu guards ring membership: drains remove peers from the ring
+	// while requests are routing on it.
+	mu     sync.RWMutex
 	ring   *Ring
 	self   string
 	inner  http.Handler
 	client *http.Client
+	// health tracks per-peer circuit breakers: forwards that fail feed
+	// them, and an open breaker makes routing fail fast (or fail over
+	// to the owner's replica successor for stale-tolerant reads)
+	// instead of waiting out a timeout per request.
+	health *service.PeerHealth
 	// maxBody bounds how much of a request body the proxy buffers to
 	// route or re-send it.
 	maxBody int64
@@ -68,8 +79,28 @@ func NewProxy(self string, peers []string, inner http.Handler, httpClient *http.
 		self:    strings.TrimRight(self, "/"),
 		inner:   inner,
 		client:  httpClient,
+		health:  service.NewPeerHealth(service.BreakerConfig{}),
 		maxBody: service.DefaultMaxUploadBytes,
 	}
+}
+
+// UseHealth shares a peer-health tracker with the proxy, so breakers
+// opened by the server's prober (or by other traffic) short-circuit
+// proxy forwards too. Call before serving traffic.
+func (p *Proxy) UseHealth(h *service.PeerHealth) {
+	if h != nil {
+		p.health = h
+	}
+}
+
+// removeMember drops a drained replica from the ring and forgets its
+// breaker, so no future request routes to it.
+func (p *Proxy) removeMember(url string) {
+	url = strings.TrimRight(url, "/")
+	p.mu.Lock()
+	p.ring.Remove(url)
+	p.mu.Unlock()
+	p.health.Remove(url)
 }
 
 // ServeHTTP implements http.Handler.
@@ -111,6 +142,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.routeByKey(w, r, req.InstanceID, body)
 	case seg[0] == "v1" && len(seg) >= 3 && seg[1] == "sessions":
 		p.localThenScatter(w, r)
+	case r.Method == http.MethodPost && len(seg) == 3 && seg[0] == "v1" && seg[1] == "cluster" && seg[2] == "drain":
+		p.handleDrain(w, r)
 	default:
 		p.inner.ServeHTTP(w, r)
 	}
@@ -119,8 +152,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // routeByKey serves locally when the ring maps key here, else forwards
 // to the owner. body, when non-nil, replaces the (already consumed)
 // request body.
+//
+// The owner's circuit breaker gates the forward: an open breaker fails
+// fast with 503 and service.HeaderReplicaDown instead of burning a
+// timeout, and stale-tolerant reads (service.HeaderAllowStale on an
+// instance GET, solve, or cost) fail over to the owner's ring
+// successor, which holds a read-only replica of the owner's instances.
 func (p *Proxy) routeByKey(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	p.mu.RLock()
 	owner := p.ring.Owner(key)
+	p.mu.RUnlock()
 	if owner == p.self || owner == "" {
 		if body != nil {
 			r.Body = io.NopCloser(bytes.NewReader(body))
@@ -136,19 +177,135 @@ func (p *Proxy) routeByKey(w http.ResponseWriter, r *http.Request, key string, b
 		}
 		body = buf
 	}
+	b := p.health.For(owner)
+	if !b.Allow() {
+		if p.failover(w, r, owner, body) {
+			return
+		}
+		writeReplicaDown(w, owner, b.RetryAfter())
+		return
+	}
 	resp, err := p.forward(r, owner, body)
 	if err != nil {
+		if r.Context().Err() == nil {
+			b.Failure()
+		}
+		if p.failover(w, r, owner, body) {
+			return
+		}
 		http.Error(w, fmt.Sprintf("cluster: forwarding to %s: %v", owner, err), http.StatusBadGateway)
 		return
 	}
+	b.Success()
 	defer resp.Body.Close()
 	copyResponse(w, resp)
+}
+
+// staleEligible reports whether a request may be served from a replica
+// snapshot: the client opted in with service.HeaderAllowStale and the
+// request is a side-effect-free instance read (info, solve, or cost).
+func staleEligible(r *http.Request) bool {
+	if r.Header.Get(service.HeaderAllowStale) == "" {
+		return false
+	}
+	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if seg[0] != "instances" || len(seg) < 2 {
+		return false
+	}
+	switch {
+	case r.Method == http.MethodGet && len(seg) == 2:
+		return true
+	case r.Method == http.MethodPost && len(seg) == 3 && (seg[2] == "solve" || seg[2] == "cost"):
+		return true
+	}
+	return false
+}
+
+// failover reroutes a stale-eligible read for a down owner to the
+// owner's ring successor, which serves it from its replica store. It
+// reports whether it produced a response; the caller falls back to an
+// error answer when it did not.
+func (p *Proxy) failover(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	if !staleEligible(r) {
+		return false
+	}
+	p.mu.RLock()
+	succ := p.ring.Successor(owner)
+	p.mu.RUnlock()
+	if succ == "" || succ == owner {
+		return false
+	}
+	w.Header().Set(service.HeaderReplicaDown, owner)
+	if succ == p.self {
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		p.inner.ServeHTTP(w, r)
+		return true
+	}
+	resp, err := p.forward(r, succ, body)
+	if err != nil {
+		w.Header().Del(service.HeaderReplicaDown)
+		return false
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+	return true
+}
+
+// writeReplicaDown renders the fail-fast answer for an owner whose
+// breaker is open: 503 with the down replica named in
+// service.HeaderReplicaDown and a Retry-After matching the breaker's
+// reopen-probe schedule.
+func writeReplicaDown(w http.ResponseWriter, replica string, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set(service.HeaderReplicaDown, replica)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck // headers are out; nothing left to do
+		"error": fmt.Sprintf("cluster: replica %s is down", replica),
+	})
+}
+
+// handleDrain intercepts POST /v1/cluster/drain so a drain that names
+// a peer also removes it from this proxy's ring before the local
+// service updates its own peer set — routing and membership change
+// together.
+func (p *Proxy) handleDrain(w http.ResponseWriter, r *http.Request) {
+	body, err := p.buffer(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req service.ClusterDrainRequest
+	if json.Unmarshal(body, &req) == nil && req.Peer != "" && strings.TrimRight(req.Peer, "/") != p.self {
+		p.removeMember(req.Peer)
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	p.inner.ServeHTTP(w, r)
+}
+
+// ScatterError is the 502 body for a session scatter that could not
+// rule the session out: at least one peer was unreachable (or its
+// breaker open), so the session may live on a replica that did not
+// answer and a 404 would be a lie. Peers maps each silent replica to
+// the reason it was skipped.
+type ScatterError struct {
+	Error string            `json:"error"`
+	Peers map[string]string `json:"peers"`
 }
 
 // localThenScatter serves a replica-local-keyed path (a session id)
 // locally and, if the local handler answers 404, retries every peer with
 // the hop guard set; the first non-404 answer wins. All-404 replays the
-// local 404, so a genuinely unknown session still reads as one.
+// local 404, so a genuinely unknown session still reads as one — but
+// only when every peer actually answered: if any peer was unreachable,
+// the scatter answers 502 with a ScatterError naming the silent peers,
+// because the session may live on one of them.
 func (p *Proxy) localThenScatter(w http.ResponseWriter, r *http.Request) {
 	body, err := p.buffer(r)
 	if err != nil {
@@ -162,20 +319,43 @@ func (p *Proxy) localThenScatter(w http.ResponseWriter, r *http.Request) {
 		rec.replay(w)
 		return
 	}
-	for _, peer := range p.ring.Members() {
+	p.mu.RLock()
+	members := p.ring.Members()
+	p.mu.RUnlock()
+	unreachable := make(map[string]string)
+	for _, peer := range members {
 		if peer == p.self {
+			continue
+		}
+		b := p.health.For(peer)
+		if !b.Allow() {
+			unreachable[peer] = "circuit breaker open"
 			continue
 		}
 		resp, err := p.forward(r, peer, body)
 		if err != nil {
-			continue // unreachable peer: keep scattering
+			if r.Context().Err() == nil {
+				b.Failure()
+			}
+			unreachable[peer] = err.Error()
+			continue
 		}
+		b.Success()
 		if resp.StatusCode == http.StatusNotFound {
 			resp.Body.Close()
 			continue
 		}
 		defer resp.Body.Close()
 		copyResponse(w, resp)
+		return
+	}
+	if len(unreachable) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		json.NewEncoder(w).Encode(ScatterError{ //nolint:errcheck // headers are out; nothing left to do
+			Error: "cluster: scatter incomplete: unreachable peers may hold the session",
+			Peers: unreachable,
+		})
 		return
 	}
 	rec.replay(w)

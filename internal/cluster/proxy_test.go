@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"netplace/internal/service"
@@ -119,5 +121,63 @@ func TestProxyAnyReplicaEntryPoint(t *testing.T) {
 	}
 	if cs.Totals.Replicas != 2 || len(cs.Errors) != 0 {
 		t.Fatalf("cluster view replicas=%d errors=%v, want 2 and none", cs.Totals.Replicas, cs.Errors)
+	}
+}
+
+// TestScatterUnreachablePeer502: a session scatter that cannot reach
+// every peer must not claim 404 — the session may live on a replica
+// that did not answer. It answers 502 with a ScatterError naming the
+// silent peers, both for transport failures and for peers skipped by
+// an open circuit breaker; with every peer answering, an all-404
+// scatter still reads as a clean 404.
+func TestScatterUnreachablePeer502(t *testing.T) {
+	notFound := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	scatter := func(p *Proxy) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions/s-abc123", nil))
+		return rec
+	}
+
+	// Port 1 is never listening: every forward fails at dial time.
+	dead := "http://127.0.0.1:1"
+	p := NewProxy("http://self.test", []string{"http://self.test", dead}, notFound, nil)
+	rec := scatter(p)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("scatter with unreachable peer answered %d, want 502", rec.Code)
+	}
+	var se ScatterError
+	if err := json.Unmarshal(rec.Body.Bytes(), &se); err != nil {
+		t.Fatalf("502 body is not a ScatterError: %v\n%s", err, rec.Body.Bytes())
+	}
+	if se.Error == "" || se.Peers[dead] == "" {
+		t.Fatalf("ScatterError does not name the silent peer: %+v", se)
+	}
+
+	// The dial failures fed the peer's breaker; once it opens the peer
+	// is skipped without a connection attempt — still 502, with the
+	// breaker named as the reason.
+	for i := 0; i < 3; i++ {
+		scatter(p)
+	}
+	rec = scatter(p)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("scatter with open-breaker peer answered %d, want 502", rec.Code)
+	}
+	se = ScatterError{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &se); err != nil {
+		t.Fatal(err)
+	}
+	if se.Peers[dead] != "circuit breaker open" {
+		t.Fatalf("open-breaker skip reason = %q, want \"circuit breaker open\"", se.Peers[dead])
+	}
+
+	// Every peer answering 404 is a provable miss: clean 404, no error.
+	peer := httptest.NewServer(notFound)
+	defer peer.Close()
+	p2 := NewProxy("http://self.test", []string{"http://self.test", peer.URL}, notFound, nil)
+	if rec := scatter(p2); rec.Code != http.StatusNotFound {
+		t.Fatalf("all-404 scatter answered %d, want 404", rec.Code)
 	}
 }

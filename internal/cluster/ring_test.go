@@ -178,3 +178,37 @@ func TestRingMinimalMovementOnRemove(t *testing.T) {
 		}
 	}
 }
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRingOf(0, "http://c", "http://a", "http://b")
+	// Successor follows SORTED member order, independent of insertion
+	// order or ring-point adjacency, wrapping at the end.
+	for _, tc := range []struct{ self, want string }{
+		{"http://a", "http://b"},
+		{"http://b", "http://c"},
+		{"http://c", "http://a"},
+	} {
+		if got := r.Successor(tc.self); got != tc.want {
+			t.Errorf("Successor(%q) = %q, want %q", tc.self, got, tc.want)
+		}
+	}
+	// A non-member has no successor, nor does a single-member ring.
+	if got := r.Successor("http://zz"); got != "" {
+		t.Errorf("Successor of non-member = %q, want empty", got)
+	}
+	if got := NewRingOf(0, "http://a").Successor("http://a"); got != "" {
+		t.Errorf("single-member Successor = %q, want empty", got)
+	}
+	// SuccessorOf is the coordination-free form every layer shares: it
+	// must agree with the ring and not mutate its input.
+	members := []string{"http://b", "http://a", "http://c"}
+	if got := SuccessorOf(members, "http://c"); got != "http://a" {
+		t.Errorf("SuccessorOf wrap = %q, want http://a", got)
+	}
+	if members[0] != "http://b" {
+		t.Error("SuccessorOf sorted its input in place")
+	}
+	if got := SuccessorOf(nil, "http://a"); got != "" {
+		t.Errorf("SuccessorOf(nil) = %q, want empty", got)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -29,23 +30,31 @@ type ShardedClient struct {
 	ring     *Ring
 	replicas []string
 	clients  map[string]*service.Client
+	health   *service.PeerHealth // passive per-replica breakers (no prober)
 }
 
 // NewShardedClient builds a sharded client over the replica base URLs
 // (e.g. "http://127.0.0.1:4001"). httpClient may be nil for
-// http.DefaultClient; retries are off until SetRetryPolicy.
+// http.DefaultClient; retries are off until SetRetryPolicy. Every
+// per-replica client carries a circuit breaker fed passively by its
+// request outcomes (tune with SetBreakerConfig): calls to a replica
+// whose breaker is open fail fast with service.ErrReplicaDown, and
+// SolveStale fails over to the key's snapshot successor.
 func NewShardedClient(replicas []string, httpClient *http.Client) (*ShardedClient, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("cluster: sharded client needs at least one replica")
 	}
 	sc := &ShardedClient{ring: NewRing(0), clients: make(map[string]*service.Client)}
+	sc.health = service.NewPeerHealth(service.BreakerConfig{})
 	for _, rep := range replicas {
 		rep = strings.TrimRight(rep, "/")
 		if !sc.ring.Add(rep) {
 			continue // duplicate URL
 		}
 		sc.replicas = append(sc.replicas, rep)
-		sc.clients[rep] = service.NewClient(rep, httpClient)
+		c := service.NewClient(rep, httpClient)
+		c.SetBreaker(sc.health.For(rep))
+		sc.clients[rep] = c
 	}
 	return sc, nil
 }
@@ -55,6 +64,45 @@ func NewShardedClient(replicas []string, httpClient *http.Client) (*ShardedClien
 func (sc *ShardedClient) SetRetryPolicy(p service.RetryPolicy) {
 	for _, c := range sc.clients {
 		c.SetRetryPolicy(p)
+	}
+}
+
+// SetBreakerConfig rebuilds the per-replica circuit breakers with cfg's
+// thresholds. Call before sharing the client across goroutines.
+func (sc *ShardedClient) SetBreakerConfig(cfg service.BreakerConfig) {
+	sc.health = service.NewPeerHealth(cfg)
+	for rep, c := range sc.clients {
+		c.SetBreaker(sc.health.For(rep))
+	}
+}
+
+// Health exposes the per-replica breaker tracker, so callers can
+// inspect (or tests can manipulate) replica state.
+func (sc *ShardedClient) Health() *service.PeerHealth { return sc.health }
+
+// Successor returns the replica holding the read-only snapshot of an
+// instance — the next member after its owner in sorted member order
+// (the same rule every server layer uses), "" on a single-replica ring.
+func (sc *ShardedClient) Successor(instanceID string) string {
+	return sc.ring.Successor(sc.ring.Owner(instanceID))
+}
+
+// RemovePeer drops a replica from the client's ring and breaker
+// tracker — the client-side half of a cluster drain. Keys the removed
+// replica owned re-route to the survivors with the ring's
+// minimal-movement guarantee.
+func (sc *ShardedClient) RemovePeer(url string) {
+	url = strings.TrimRight(url, "/")
+	if !sc.ring.Remove(url) {
+		return
+	}
+	delete(sc.clients, url)
+	sc.health.Remove(url)
+	for i, rep := range sc.replicas {
+		if rep == url {
+			sc.replicas = append(sc.replicas[:i], sc.replicas[i+1:]...)
+			break
+		}
 	}
 }
 
@@ -105,6 +153,45 @@ func (sc *ShardedClient) Delete(ctx context.Context, id string) error {
 // Solve solves on the instance's owning replica.
 func (sc *ShardedClient) Solve(ctx context.Context, id string, opts service.SolveOptions) (service.SolveResult, error) {
 	return sc.clientFor(id).Solve(ctx, id, opts)
+}
+
+// SolveStale is Solve with degraded-mode opt-in, cluster-wide: it asks
+// the owning replica first (service.Client.SolveStale semantics —
+// overload there serves the last good placement), and when the owner is
+// down — its breaker open, or the call failing at the transport level —
+// it fails over to the key's snapshot successor, which answers from its
+// hash-verified read-only replica with Stale=true. Writes never fail
+// over; only this read path does.
+func (sc *ShardedClient) SolveStale(ctx context.Context, id string, opts service.SolveOptions) (service.SolveResult, error) {
+	owner := sc.ring.Owner(id)
+	if sc.health.For(owner).Ready() {
+		res, err := sc.clients[owner].SolveStale(ctx, id, opts)
+		if err == nil || !replicaFault(err) {
+			return res, err
+		}
+	}
+	succ := sc.ring.Successor(owner)
+	if succ == "" {
+		return service.SolveResult{}, &service.ReplicaDownError{Replica: owner}
+	}
+	return sc.clients[succ].SolveDegraded(ctx, id, opts)
+}
+
+// replicaFault reports errors that mean "the replica is unreachable or
+// known down" — the faults failover covers — as opposed to application
+// errors (bad options, 404) the successor would only repeat.
+func replicaFault(err error) bool {
+	if errors.Is(err, service.ErrReplicaDown) {
+		return true
+	}
+	var ae *service.APIError
+	if errors.As(err, &ae) {
+		return false // the owner answered; its verdict stands
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true // transport-level fault
 }
 
 // WhatIf batches options variants on the instance's owning replica.

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultMode selects how a replica's fault proxy treats new connections.
+type FaultMode int32
+
+const (
+	// FaultNone passes traffic through untouched.
+	FaultNone FaultMode = iota
+	// FaultBlackhole accepts connections but never moves a byte in
+	// either direction — the classic silent partition, where only
+	// timeouts reveal the peer is gone.
+	FaultBlackhole
+	// FaultReset refuses every connection with a TCP RST (SO_LINGER 0
+	// close), the fast-failure flavor of a dead peer.
+	FaultReset
+	// FaultOneWay delivers client bytes to the replica but drops every
+	// response — an asymmetric partition: the replica sees and applies
+	// requests, callers see only timeouts.
+	FaultOneWay
+)
+
+// faultProxy is a per-replica TCP forwarder the harness interposes
+// between a replica's advertised URL and its real listener, so tests
+// can partition one replica from the cluster without touching the
+// process. The proxy owns the advertised port for the replica's whole
+// lifetime — kills and restarts of the process behind it leave the
+// proxy (and any configured fault) in place.
+type faultProxy struct {
+	backend string
+	ln      net.Listener
+	mode    atomic.Int32
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newFaultProxy listens on front and forwards (mode permitting) to
+// backend.
+func newFaultProxy(front, backend string) (*faultProxy, error) {
+	ln, err := net.Listen("tcp", front)
+	if err != nil {
+		return nil, err
+	}
+	fp := &faultProxy{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	fp.wg.Add(1)
+	go fp.acceptLoop()
+	return fp, nil
+}
+
+// SetMode switches the fault and severs every established connection,
+// so an in-flight request feels the partition immediately instead of
+// completing over a pre-fault pipe.
+func (fp *faultProxy) SetMode(mode FaultMode) {
+	fp.mode.Store(int32(mode))
+	fp.mu.Lock()
+	for c := range fp.conns {
+		c.Close()
+	}
+	fp.mu.Unlock()
+}
+
+// Mode reports the current fault.
+func (fp *faultProxy) Mode() FaultMode { return FaultMode(fp.mode.Load()) }
+
+// Close shuts the listener and every connection down and waits for the
+// proxy's goroutines.
+func (fp *faultProxy) Close() {
+	fp.mu.Lock()
+	fp.closed = true
+	fp.mu.Unlock()
+	fp.ln.Close()
+	fp.SetMode(FaultReset) // also closes tracked conns
+	fp.wg.Wait()
+}
+
+// track registers a connection for severing on SetMode/Close; it
+// reports false (and closes the connection) when the proxy is already
+// closed.
+func (fp *faultProxy) track(c net.Conn) bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.closed {
+		c.Close()
+		return false
+	}
+	fp.conns[c] = struct{}{}
+	return true
+}
+
+// untrack forgets a finished connection.
+func (fp *faultProxy) untrack(c net.Conn) {
+	fp.mu.Lock()
+	delete(fp.conns, c)
+	fp.mu.Unlock()
+}
+
+// acceptLoop dispatches each accepted connection per the mode at
+// accept time.
+func (fp *faultProxy) acceptLoop() {
+	defer fp.wg.Done()
+	for {
+		c, err := fp.ln.Accept()
+		if err != nil {
+			return
+		}
+		switch fp.Mode() {
+		case FaultReset:
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0) //nolint:errcheck // best-effort RST
+			}
+			c.Close()
+		case FaultBlackhole:
+			// Hold the connection open, moving nothing; it dies on
+			// SetMode/Close or when the client gives up.
+			fp.track(c)
+		default:
+			fp.wg.Add(1)
+			go fp.pipe(c, fp.Mode() == FaultOneWay)
+		}
+	}
+}
+
+// pipe shuttles bytes between a client connection and the backend;
+// with oneWay set, responses are read and dropped instead of relayed.
+func (fp *faultProxy) pipe(client net.Conn, oneWay bool) {
+	defer fp.wg.Done()
+	backend, err := net.Dial("tcp", fp.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !fp.track(client) {
+		backend.Close()
+		return
+	}
+	if !fp.track(backend) {
+		fp.untrack(client)
+		client.Close()
+		return
+	}
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client) //nolint:errcheck // a broken pipe ends the fault-injected stream
+		done <- struct{}{}
+	}()
+	go func() {
+		dst := io.Writer(client)
+		if oneWay {
+			dst = io.Discard
+		}
+		io.Copy(dst, backend) //nolint:errcheck // a broken pipe ends the fault-injected stream
+		done <- struct{}{}
+	}()
+	<-done
+	fp.untrack(client)
+	fp.untrack(backend)
+	client.Close()
+	backend.Close()
+	<-done
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFaultProxyModes drives the harness's TCP fault proxy directly:
+// pass-through works, a blackhole hangs new connections until the
+// client times out, a reset refuses them immediately, and healing
+// restores service on the same front address.
+func TestFaultProxyModes(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer backend.Close()
+	bu, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := newFaultProxy("127.0.0.1:0", bu.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Close()
+	front := "http://" + fp.ln.Addr().String()
+	// Disable keep-alives so every request dials fresh and feels the
+	// mode at accept time rather than reusing a pre-fault pipe.
+	client := &http.Client{
+		Timeout:   250 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+
+	resp, err := client.Get(front + "/readyz")
+	if err != nil {
+		t.Fatalf("pass-through GET: %v", err)
+	}
+	resp.Body.Close()
+
+	fp.SetMode(FaultBlackhole)
+	start := time.Now()
+	if _, err := client.Get(front + "/readyz"); err == nil {
+		t.Fatal("blackholed GET succeeded")
+	} else if !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("blackholed GET failed with %v, want client timeout", err)
+	}
+	if since := time.Since(start); since < 200*time.Millisecond {
+		t.Fatalf("blackholed GET failed after %v — a blackhole must stall, not refuse", since)
+	}
+
+	fp.SetMode(FaultReset)
+	start = time.Now()
+	if _, err := client.Get(front + "/readyz"); err == nil {
+		t.Fatal("reset GET succeeded")
+	} else if errors.Is(err, net.ErrClosed) {
+		t.Fatalf("reset GET failed with %v", err)
+	}
+	if since := time.Since(start); since > 200*time.Millisecond {
+		t.Fatalf("reset GET took %v — a reset must refuse fast", since)
+	}
+
+	fp.SetMode(FaultNone)
+	resp, err = client.Get(front + "/readyz")
+	if err != nil {
+		t.Fatalf("healed GET: %v", err)
+	}
+	resp.Body.Close()
+}

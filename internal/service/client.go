@@ -38,6 +38,18 @@ type APIError struct {
 	// it may have been minted by an intermediary after the backend did
 	// the work.
 	Shed bool
+	// ReplicaDown carries the X-Netplace-Replica-Down marker: the named
+	// replica's circuit breaker is open and the request was refused
+	// before anything was sent to it. errors.Is(err, ErrReplicaDown)
+	// matches when set.
+	ReplicaDown string
+}
+
+// Is makes errors.Is(err, ErrReplicaDown) match a response carrying the
+// X-Netplace-Replica-Down marker, so callers handle the server-minted
+// and client-breaker forms of the condition uniformly.
+func (e *APIError) Is(target error) bool {
+	return target == ErrReplicaDown && e.ReplicaDown != ""
 }
 
 // Error renders the call, server message, and status.
@@ -105,9 +117,10 @@ func DefaultRetryPolicy() RetryPolicy {
 // not usable; construct with NewClient. Safe for concurrent use once
 // configured (call SetRetryPolicy before sharing across goroutines).
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	breaker *Breaker // optional per-target circuit breaker; see SetBreaker
 
 	mu  sync.Mutex
 	rng *rand.Rand // seeded jitter source; nil uses the global one
@@ -133,6 +146,14 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 		c.rng = nil
 	}
 }
+
+// SetBreaker attaches a circuit breaker for this client's target: every
+// attempt consults Breaker.Allow first and fails fast with a
+// *ReplicaDownError while the breaker is open, transport outcomes feed
+// Success/Failure back. Typically the breaker comes from a shared
+// PeerHealth so all clients of one process agree on peer state. Call
+// before the client is shared across goroutines.
+func (c *Client) SetBreaker(b *Breaker) { c.breaker = b }
 
 // do sends a JSON request and decodes a JSON response into out (which may
 // be nil), for calls that are safe to retry at the transport level.
@@ -161,11 +182,19 @@ func (c *Client) doRetry(ctx context.Context, method, path string, hdr map[strin
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.doOnce(ctx, method, path, hdr, payload, out, attempt)
+		if c.breaker != nil && !c.breaker.Allow() {
+			// Fail fast: the target's breaker is open, nothing is sent. The
+			// typed error is retryable (provably pre-application) and backoff
+			// sleeps on the breaker clock, so a retry budget rides out the
+			// outage at near-zero network cost.
+			err = &ReplicaDownError{Replica: c.base, RetryAfter: c.breaker.RetryAfter()}
+		} else {
+			err = c.doOnce(ctx, method, path, hdr, payload, out, attempt)
+		}
 		if err == nil {
 			return nil
 		}
-		if attempt >= attempts || !retryableError(err, idempotent) {
+		if attempt >= attempts || ctx.Err() != nil || !retryableError(err, idempotent) {
 			return err
 		}
 		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
@@ -177,9 +206,17 @@ func (c *Client) doRetry(ctx context.Context, method, path string, hdr map[strin
 // retryableError decides whether one failed attempt may be retried:
 // typed server sheds always, transport faults — including gateway
 // statuses an intermediary may emit after the backend applied the
-// request (bare 502/504) — only on idempotent calls, cancellations
-// never.
+// request (bare 502/504) and per-attempt timeouts against a hung peer
+// (http.Client.Timeout reads as context.DeadlineExceeded) — only on
+// idempotent calls, cancellations never. The CALLER's context ending
+// stops the loop separately, via doRetry's ctx.Err() guard, so a
+// deadline here is known to be attempt-local.
 func retryableError(err error, idempotent bool) bool {
+	if errors.Is(err, ErrReplicaDown) {
+		// The local breaker refused the attempt before anything was sent
+		// (or the server refused before applying): always safe to retry.
+		return true
+	}
 	var ae *APIError
 	if errors.As(err, &ae) {
 		if ae.Retryable() {
@@ -191,7 +228,7 @@ func retryableError(err error, idempotent bool) bool {
 		}
 		return false
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.Canceled) {
 		return false
 	}
 	return idempotent
@@ -200,6 +237,12 @@ func retryableError(err error, idempotent bool) bool {
 // backoff computes the delay before the next attempt: the server's
 // Retry-After when present, else capped exponential with jitter.
 func (c *Client) backoff(attempt int, err error) time.Duration {
+	var rde *ReplicaDownError
+	if errors.As(err, &rde) && rde.RetryAfter > 0 {
+		// Sleep on the breaker clock (plus a margin so the reopen probe is
+		// due when the retry fires) instead of the exponential schedule.
+		return rde.RetryAfter + 25*time.Millisecond
+	}
 	var ae *APIError
 	if errors.As(err, &ae) && ae.RetryAfter > 0 {
 		return ae.RetryAfter
@@ -279,13 +322,24 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr map[string
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// Feed the breaker: a transport fault (refused, reset, client
+		// timeout against a blackholed peer) is a failure — unless OUR
+		// context caused it, which says nothing about the peer.
+		if c.breaker != nil && ctx.Err() == nil {
+			c.breaker.Failure()
+		}
 		return err
+	}
+	// Any HTTP response proves the peer is alive, whatever the status.
+	if c.breaker != nil {
+		c.breaker.Success()
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path,
-			Shed: resp.Header.Get(HeaderShed) != ""}
+			Shed:        resp.Header.Get(HeaderShed) != "",
+			ReplicaDown: resp.Header.Get(HeaderReplicaDown)}
 		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var e errorJSON
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
@@ -377,6 +431,19 @@ func (c *Client) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 func (c *Client) SolveStale(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
 	var out SolveResult
 	hdr := map[string]string{HeaderAllowStale: "1"}
+	err := c.doRetry(ctx, http.MethodPost, "/instances/"+id+"/solve", hdr, SolveRequest{Options: opts}, &out, true)
+	return out, err
+}
+
+// SolveDegraded is the failover form of SolveStale: it additionally
+// carries the forwarded hop guard, so the receiving replica answers
+// strictly locally — from its registry or, for an instance it only
+// replicates, from the read-only snapshot store (Stale=true) — instead
+// of forwarding back toward the down owner. ShardedClient uses it to
+// read through the owner's successor while the owner's breaker is open.
+func (c *Client) SolveDegraded(ctx context.Context, id string, opts SolveOptions) (SolveResult, error) {
+	var out SolveResult
+	hdr := map[string]string{HeaderAllowStale: "1", HeaderForwarded: "degraded"}
 	err := c.doRetry(ctx, http.MethodPost, "/instances/"+id+"/solve", hdr, SolveRequest{Options: opts}, &out, true)
 	return out, err
 }
@@ -504,6 +571,49 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 func (c *Client) ClusterStats(ctx context.Context) (ClusterStats, error) {
 	var out ClusterStats
 	err := c.do(ctx, http.MethodGet, "/statz?cluster=1", nil, &out)
+	return out, err
+}
+
+// Export fetches an instance's full content (GET /instances/{id}/export)
+// for re-registration elsewhere — the drain path's migration read.
+func (c *Client) Export(ctx context.Context, id string) (InstanceExport, error) {
+	var out InstanceExport
+	err := c.do(ctx, http.MethodGet, "/instances/"+id+"/export", nil, &out)
+	return out, err
+}
+
+// PushReplica stores an instance's content in the server's read-only
+// replica snapshot store (PUT /v1/replica/instances/{id}); the server
+// re-verifies id against the content hash before accepting. Idempotent:
+// pushing the same content again overwrites in place.
+func (c *Client) PushReplica(ctx context.Context, id string, exp InstanceExport) error {
+	return c.doRetry(ctx, http.MethodPut, "/v1/replica/instances/"+id, nil, exp, nil, true)
+}
+
+// DeleteReplica drops an instance from the server's replica snapshot
+// store. Idempotent — deleting an absent snapshot succeeds.
+func (c *Client) DeleteReplica(ctx context.Context, id string) error {
+	return c.doRetry(ctx, http.MethodDelete, "/v1/replica/instances/"+id, nil, nil, nil, true)
+}
+
+// ReplicaInstances lists the read-only instance snapshots the server
+// holds for other replicas' keys.
+func (c *Client) ReplicaInstances(ctx context.Context) ([]ReplicaInstanceInfo, error) {
+	var out []ReplicaInstanceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/replica/instances", nil, &out)
+	return out, err
+}
+
+// ClusterDrain drives the membership change behind netplaced
+// -drain-peer (POST /v1/cluster/drain). With peer empty (or the
+// server's own URL) the server itself drains: final session snapshots
+// and WAL flushes are written and /readyz starts failing. With peer set
+// to another replica's URL, the server removes that replica from its
+// ring view and peer set. Idempotent in both directions.
+func (c *Client) ClusterDrain(ctx context.Context, peer string) (ClusterDrainResponse, error) {
+	var out ClusterDrainResponse
+	err := c.doRetry(ctx, http.MethodPost, "/v1/cluster/drain", nil,
+		ClusterDrainRequest{Peer: peer}, &out, true)
 	return out, err
 }
 

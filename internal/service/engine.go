@@ -328,10 +328,33 @@ func (e *Engine) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 	if !ok {
 		return SolveResult{}, ErrNotFound
 	}
+	return e.solveOn(ctx, info.ID, info.Hash, in, opts)
+}
+
+// SolveSnapshot solves an instance that is NOT in the registry — the
+// degraded failover path serving a read-only replica snapshot. It runs
+// through the same cache and singleflight as Solve, keyed by the
+// instance's content hash, so repeated failover reads of one instance
+// cost a single solver run and a snapshot solve can even be answered
+// from a result the replica cached while it still owned the key. opts
+// must already be normalized by the caller's request decoding.
+func (e *Engine) SolveSnapshot(ctx context.Context, id, hash string, in *core.Instance, opts SolveOptions) (SolveResult, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return e.solveOn(ctx, id, hash, in, opts)
+}
+
+// solveOn is the shared solve kernel behind Solve and SolveSnapshot:
+// validate the normalized options against the instance, then serve from
+// the result cache or run under singleflight (probing peers' caches
+// first when the peer cache is on).
+func (e *Engine) solveOn(ctx context.Context, id, hash string, in *core.Instance, opts SolveOptions) (SolveResult, error) {
 	if err := opts.validateFor(in); err != nil {
 		return SolveResult{}, err
 	}
-	key := info.Hash + "|" + opts.key()
+	key := hash + "|" + opts.key()
 	counted := false
 	for {
 		if res, ok := e.cache.Get(key); ok {
@@ -349,22 +372,22 @@ func (e *Engine) Solve(ctx context.Context, id string, opts SolveOptions) (Solve
 		}
 		val, err, shared := e.flight.Do(ctx, key, func() (any, error) {
 			if e.peerProbe != nil {
-				if res, ok := e.peerProbe(ctx, info.Hash, opts); ok {
+				if res, ok := e.peerProbe(ctx, hash, opts); ok {
 					// A peer already solved this: adopt its result verbatim
 					// (bytes must match a local run — the conformance suite
 					// pins that) and cache it here like our own.
 					res.PeerCached = true
 					e.cache.Put(key, res)
-					e.keepStale(info.Hash, res)
+					e.keepStale(hash, res)
 					return res, nil
 				}
 			}
-			res, err := e.run(ctx, info.ID, in, opts)
+			res, err := e.run(ctx, id, in, opts)
 			if err != nil {
 				return nil, err
 			}
 			e.cache.Put(key, res)
-			e.keepStale(info.Hash, res)
+			e.keepStale(hash, res)
 			return res, nil
 		})
 		if shared {
@@ -519,6 +542,14 @@ func (e *Engine) Cost(id string, pj encode.PlacementJSON) (BreakdownJSON, error)
 	if !ok {
 		return BreakdownJSON{}, ErrNotFound
 	}
+	return costOn(in, pj)
+}
+
+// costOn evaluates a placement against an assembled instance — shared by
+// Cost and the degraded replica-snapshot path (cost of a placement is a
+// pure function of the instance bytes, so a hash-verified snapshot gives
+// the exact same answer the owner would).
+func costOn(in *core.Instance, pj encode.PlacementJSON) (BreakdownJSON, error) {
 	p, err := pj.Placement(in)
 	if err != nil {
 		return BreakdownJSON{}, err

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -72,19 +73,56 @@ func (e *Engine) cachedResult(hash string, opts SolveOptions) (*SolveResult, boo
 	return &out, true
 }
 
-// peerSet holds the probe clients for the configured peers. Built once
-// at server construction; the probe clients carry no retry policy (a
-// probe is an optimization — on any fault the solve just runs locally)
-// and every probe is bounded by Config.PeerTimeout.
+// peerSet holds the probe clients for the configured peers. Built at
+// server construction and mutated only by drain-driven membership
+// removal; the probe clients carry no retry policy (a probe is an
+// optimization — on any fault the solve just runs locally) and every
+// probe is bounded by Config.PeerTimeout.
 type peerSet struct {
+	timeout time.Duration
+
+	mu      sync.Mutex
 	urls    []string
 	clients []*Client
-	timeout time.Duration
+}
+
+// snapshot returns consistent copies of the peer URL and client lists.
+func (ps *peerSet) snapshot() ([]string, []*Client) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	urls := make([]string, len(ps.urls))
+	copy(urls, ps.urls)
+	clients := make([]*Client, len(ps.clients))
+	copy(clients, ps.clients)
+	return urls, clients
+}
+
+// remove drops a peer from the set, reporting whether it was present.
+func (ps *peerSet) remove(url string) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for i, u := range ps.urls {
+		if u == url {
+			ps.urls = append(ps.urls[:i], ps.urls[i+1:]...)
+			ps.clients = append(ps.clients[:i], ps.clients[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// len is the current peer count (the live /statz peers gauge).
+func (ps *peerSet) len() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.urls)
 }
 
 // setupPeers filters SelfURL out of cfg.Peers and builds one probe
-// client per remaining peer, wiring the engine's peer-probe hook when
-// PeerCache is on.
+// client per remaining peer, every client sharing the server's
+// PeerHealth breakers; it wires the engine's peer-probe hook when
+// PeerCache is on, builds the successor push client when SuccessorURL
+// is set, and starts the background /readyz prober.
 func (s *Server) setupPeers() {
 	var urls []string
 	for _, u := range s.cfg.Peers {
@@ -92,40 +130,110 @@ func (s *Server) setupPeers() {
 			urls = append(urls, u)
 		}
 	}
-	if len(urls) == 0 {
+	succ := s.cfg.SuccessorURL
+	if succ == s.cfg.SelfURL {
+		succ = ""
+	}
+	if len(urls) == 0 && succ == "" {
 		return
 	}
+	bcfg := BreakerConfig{Threshold: s.cfg.BreakerThreshold, Backoff: s.cfg.BreakerBackoff}
+	s.health = NewPeerHealth(bcfg, urls...)
 	ps := &peerSet{urls: urls, timeout: s.cfg.PeerTimeout}
 	for _, u := range urls {
-		ps.clients = append(ps.clients, NewClient(u, nil))
+		pc := NewClient(u, nil)
+		pc.SetBreaker(s.health.For(u))
+		ps.clients = append(ps.clients, pc)
 	}
 	s.peers = ps
+	if succ != "" {
+		sc := NewClient(succ, nil)
+		sc.SetBreaker(s.health.For(succ))
+		s.successor = sc
+		s.successorURL = succ
+	}
 	if s.cfg.PeerCache {
 		s.engine.peerProbe = s.probePeers
 	}
+	if s.cfg.ProbeInterval > 0 {
+		s.health.StartProber(s.cfg.ProbeInterval, s.cfg.PeerTimeout)
+	}
 }
 
-// probePeers asks each peer in turn whether it already solved (hash,
-// opts), returning the first cached result found. Sequential on purpose:
-// the common case is a small cluster where the owner answers first, and
-// a fan-out would multiply probe load quadratically under a cache-miss
-// storm. Every per-peer error is swallowed — a probe can only save work,
-// never fail the solve.
+// removePeer drops a peer from the probe set and its breaker from the
+// health tracker — the service half of a cluster drain. Reports whether
+// the peer was known.
+func (s *Server) removePeer(url string) bool {
+	if s.peers == nil {
+		return false
+	}
+	ok := s.peers.remove(url)
+	if s.health != nil {
+		s.health.Remove(url)
+	}
+	return ok
+}
+
+// probeConcurrency bounds the parallel peer cache-probe fan-out: enough
+// to hide one slow peer behind the others, small enough that a
+// cache-miss storm cannot multiply probe load quadratically.
+const probeConcurrency = 4
+
+// probePeers asks the peers in parallel (bounded by probeConcurrency)
+// whether one of them already solved (hash, opts), returning the first
+// cached result found; the first hit cancels the remaining probes.
+// Peers whose circuit breaker is not Ready are skipped outright — a
+// down peer must cost nothing, not a timeout. Each launched probe keeps
+// its own Config.PeerTimeout bound, and every per-peer error is
+// swallowed: a probe can only save work, never fail the solve.
 func (s *Server) probePeers(ctx context.Context, hash string, opts SolveOptions) (*SolveResult, bool) {
-	for _, pc := range s.peers.clients {
-		s.counters.peerProbes.Add(1)
-		pctx, cancel := context.WithTimeout(ctx, s.peers.timeout)
-		var resp CacheProbeResponse
-		err := pc.do(pctx, http.MethodPost, "/v1/cache/probe",
-			CacheProbeRequest{Hash: hash, Options: opts}, &resp)
-		cancel()
-		if err != nil || !resp.Found || resp.Result == nil {
+	urls, clients := s.peers.snapshot()
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan *SolveResult, len(clients))
+	sem := make(chan struct{}, probeConcurrency)
+	var wg sync.WaitGroup
+	for i, pc := range clients {
+		if !s.health.For(urls[i]).Ready() {
 			continue
 		}
-		s.counters.peerHits.Add(1)
-		return resp.Result, true
+		wg.Add(1)
+		go func(pc *Client) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-pctx.Done():
+				return
+			}
+			s.counters.peerProbes.Add(1)
+			s.counters.peerProbeInflight.Add(1)
+			defer s.counters.peerProbeInflight.Add(-1)
+			cctx, ccancel := context.WithTimeout(pctx, s.peers.timeout)
+			defer ccancel()
+			var resp CacheProbeResponse
+			err := pc.do(cctx, http.MethodPost, "/v1/cache/probe",
+				CacheProbeRequest{Hash: hash, Options: opts}, &resp)
+			if err != nil || !resp.Found || resp.Result == nil {
+				return
+			}
+			select {
+			case results <- resp.Result:
+			default: // a hit already won; drop the duplicate
+			}
+		}(pc)
 	}
-	return nil, false
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	res, ok := <-results
+	if !ok {
+		return nil, false
+	}
+	cancel() // first hit cancels the stragglers
+	s.counters.peerHits.Add(1)
+	return res, true
 }
 
 // clusterStats fans the plain /statz request out to every peer and
@@ -140,21 +248,22 @@ func (s *Server) clusterStats(ctx context.Context) ClusterStats {
 	}
 	out := ClusterStats{Self: self, Replicas: map[string]Stats{self: s.Stats()}}
 	if s.peers != nil {
+		urls, clients := s.peers.snapshot()
 		type fetched struct {
 			url string
 			st  Stats
 			err error
 		}
-		results := make(chan fetched, len(s.peers.clients))
-		for i, pc := range s.peers.clients {
+		results := make(chan fetched, len(clients))
+		for i, pc := range clients {
 			go func(url string, pc *Client) {
 				pctx, cancel := context.WithTimeout(ctx, s.peers.timeout)
 				defer cancel()
 				st, err := pc.Stats(pctx)
 				results <- fetched{url: url, st: st, err: err}
-			}(s.peers.urls[i], pc)
+			}(urls[i], pc)
 		}
-		for range s.peers.clients {
+		for range clients {
 			f := <-results
 			if f.err != nil {
 				if out.Errors == nil {

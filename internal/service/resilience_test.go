@@ -447,6 +447,15 @@ func TestClientBackoffShape(t *testing.T) {
 	if retryableError(fmt.Errorf("wrap: %w", context.Canceled), true) {
 		t.Error("cancellation classified retryable")
 	}
+	// A deadline error is a per-attempt client timeout (the caller's own
+	// deadline stops the loop via doRetry's ctx guard instead): a hung
+	// peer must not exempt itself from idempotent retries.
+	if !retryableError(fmt.Errorf("wrap: %w", context.DeadlineExceeded), true) {
+		t.Error("per-attempt timeout classified non-retryable on an idempotent call")
+	}
+	if retryableError(fmt.Errorf("wrap: %w", context.DeadlineExceeded), false) {
+		t.Error("per-attempt timeout classified retryable on a non-idempotent call")
+	}
 	if !retryableError(&APIError{Status: 429}, false) {
 		t.Error("429 not retryable on a non-idempotent call")
 	}

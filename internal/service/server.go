@@ -38,6 +38,7 @@ var ErrInternal = errors.New("service: internal error")
 //	                                  → per-variant/per-scenario results
 //	POST   /instances/{id}/cost       {placement} → cost breakdown
 //	POST   /instances/{id}/simulate   {placement} → metered message-level bill
+//	GET    /instances/{id}/export     full instance content (drain migration)
 //	POST   /v1/sessions               open a streaming session {instance_id, config?}
 //	GET    /v1/sessions               list open sessions
 //	GET    /v1/sessions/{id}          one session record
@@ -46,6 +47,10 @@ var ErrInternal = errors.New("service: internal error")
 //	POST   /v1/sessions/{id}/flush    close the open partial epoch
 //	GET    /v1/sessions/{id}/placement  current adaptive placement + stats
 //	POST   /v1/cache/probe            peer solve-cache probe {hash, options}
+//	PUT    /v1/replica/instances/{id} store a read-only instance snapshot
+//	DELETE /v1/replica/instances/{id} drop a snapshot (idempotent)
+//	GET    /v1/replica/instances      list held snapshots
+//	POST   /v1/cluster/drain          {peer?} drain self / remove a peer
 //	GET    /healthz                   liveness probe
 //	GET    /readyz                    readiness probe (503 during recovery/drain)
 //	GET    /statz                     Stats snapshot (cache hit rate, in-flight, …);
@@ -60,6 +65,11 @@ type Server struct {
 	store    *store   // nil: in-memory server (New, or Open without DataDir)
 	peers    *peerSet // nil: standalone (no Config.Peers)
 
+	health       *PeerHealth   // nil: standalone; per-peer breakers + prober
+	successor    *Client       // nil: no Config.SuccessorURL; snapshot pushes
+	successorURL string        // resolved Config.SuccessorURL ("" when self)
+	replicas     *replicaStore // read-only snapshots held for the predecessor
+
 	ready    atomic.Bool // recovery finished; cleared never (drain uses draining)
 	draining atomic.Bool // BeginDrain called: /readyz answers 503
 }
@@ -67,7 +77,8 @@ type Server struct {
 // New assembles a server (registry, engine, routes) from a config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{cfg: cfg, start: time.Now(),
+		replicas: &replicaStore{entries: make(map[string]*replicaEntry)}}
 	reg := NewRegistry(cfg.MemoryBudget, &s.counters.evictions)
 	s.engine = NewEngine(cfg, reg, &s.counters)
 	s.mux = http.NewServeMux()
@@ -79,6 +90,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /instances/{id}/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("POST /instances/{id}/cost", s.handleCost)
 	s.mux.HandleFunc("POST /instances/{id}/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /instances/{id}/export", s.handleExport)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
@@ -87,6 +99,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleSessionFlush)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/placement", s.handleSessionPlacement)
 	s.mux.HandleFunc("POST /v1/cache/probe", s.handleCacheProbe)
+	s.mux.HandleFunc("PUT /v1/replica/instances/{id}", s.handleReplicaPush)
+	s.mux.HandleFunc("DELETE /v1/replica/instances/{id}", s.handleReplicaDelete)
+	s.mux.HandleFunc("GET /v1/replica/instances", s.handleReplicaList)
+	s.mux.HandleFunc("POST /v1/cluster/drain", s.handleClusterDrain)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
@@ -127,6 +143,9 @@ func Open(cfg Config) (*Server, error) {
 // (that is the recovery property the crash tests assert), Close merely
 // releases the file handles promptly.
 func (s *Server) Close() {
+	if s.health != nil {
+		s.health.Close()
+	}
 	for _, sess := range s.sessions.list() {
 		sess.mu.Lock()
 		if sess.log != nil {
@@ -144,6 +163,12 @@ func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
 
 // Engine returns the server's solve engine, for embedding and tests.
 func (s *Server) Engine() *Engine { return s.engine }
+
+// PeerHealth returns the server's per-peer breaker tracker, nil on a
+// standalone server. The forwarding proxy shares it (Proxy.UseHealth)
+// so the proxy and the peer-probe path agree on which replicas are
+// down.
+func (s *Server) PeerHealth() *PeerHealth { return s.health }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
@@ -210,12 +235,44 @@ func (s *Server) Stats() Stats {
 		RetriesObserved:      s.counters.retriesObserved.Load(),
 		DeadlineRejects:      s.counters.deadlineRejects.Load(),
 		DedupedBatches:       s.counters.dedupedBatches.Load(),
-		Peers:                len(s.cfg.Peers),
+		Peers:                s.livePeers(),
 		PeerCache:            s.cfg.PeerCache,
 		PeerProbes:           s.counters.peerProbes.Load(),
 		PeerHits:             s.counters.peerHits.Load(),
 		PeerServed:           s.counters.peerServed.Load(),
+		PeerProbeInflight:    s.counters.peerProbeInflight.Load(),
+		PeerHealth:           s.peerHealthStates(),
+		BreakerOpens:         s.breakerOpens(),
+		ReplicaInstances:     s.replicas.len(),
+		FailoverReads:        s.counters.failoverReads.Load(),
+		ReplicaPushes:        s.counters.replicaPushes.Load(),
+		ReplicaPushErrors:    s.counters.replicaPushErrors.Load(),
 	}
+}
+
+// livePeers is the current peer count — membership drains shrink it.
+func (s *Server) livePeers() int {
+	if s.peers == nil {
+		return 0
+	}
+	return s.peers.len()
+}
+
+// peerHealthStates snapshots the breaker states for /statz, nil on a
+// standalone server.
+func (s *Server) peerHealthStates() map[string]string {
+	if s.health == nil {
+		return nil
+	}
+	return s.health.States()
+}
+
+// breakerOpens is the total breaker open-transition count.
+func (s *Server) breakerOpens() int64 {
+	if s.health == nil {
+		return 0
+	}
+	return s.health.Opens()
 }
 
 // errorJSON is the wire form of every error response.
@@ -251,6 +308,27 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrDeadlineUnmeetable):
 		code = http.StatusGatewayTimeout
 		w.Header().Set(HeaderShed, "1")
+	case errors.Is(err, ErrReplicaDown):
+		// A typed replica-down refusal (the target's circuit breaker is
+		// open): 503 naming the replica, with the breaker's reopen time as
+		// the Retry-After hint (at least 1s — the header has whole-second
+		// resolution).
+		code = http.StatusServiceUnavailable
+		var rde *ReplicaDownError
+		replica, after := "", time.Duration(0)
+		if errors.As(err, &rde) {
+			replica, after = rde.Replica, rde.RetryAfter
+		}
+		var ae *APIError
+		if replica == "" && errors.As(err, &ae) {
+			replica, after = ae.ReplicaDown, ae.RetryAfter
+		}
+		w.Header().Set(HeaderReplicaDown, replica)
+		secs := int(after.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	case errors.Is(err, ErrInternal):
 		code = http.StatusInternalServerError
 	case errors.Is(err, context.Canceled):
@@ -311,6 +389,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Replicate the accepted upload to the ring successor so instance
+	// reads survive this replica's failure (degraded failover; see
+	// replica.go). Synchronous but PeerTimeout-bounded and best-effort.
+	s.pushToSuccessor(info.ID, info.Name, in)
 	code := http.StatusOK
 	if created {
 		code = http.StatusCreated
@@ -323,8 +405,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	_, info, ok := s.engine.registry.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	_, info, ok := s.engine.registry.Get(id)
 	if !ok {
+		if replicaFallbackAllowed(r) && s.replicaInfo(w, r, id) {
+			return
+		}
 		writeError(w, ErrNotFound)
 		return
 	}
@@ -337,6 +423,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, ErrNotFound)
 		return
 	}
+	// Propagate to the successor's snapshot store so a deleted instance
+	// cannot keep being served by failover reads.
+	s.dropFromSuccessor(id)
 	if s.store != nil {
 		if err := s.store.deleteInstance(id); err != nil {
 			// Memory state is already correct; the stale snapshot would
@@ -365,6 +454,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.engine.Solve(r.Context(), r.PathValue("id"), req.Options)
 	if err != nil {
+		if errors.Is(err, ErrNotFound) && replicaFallbackAllowed(r) &&
+			s.replicaSolve(w, r, r.PathValue("id"), req.Options) {
+			// Degraded failover: this replica only holds the instance as a
+			// read-only snapshot for its down predecessor; the caller opted
+			// into stale serving, so answer from the snapshot (Stale=true).
+			return
+		}
 		if errors.Is(err, ErrOverloaded) && r.Header.Get(HeaderAllowStale) != "" {
 			// Degraded mode: the request opted in, so overload serves the
 			// last completed placement (flagged, with its age) instead of
@@ -460,6 +556,10 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := s.engine.Cost(r.PathValue("id"), req.Placement)
 	if err != nil {
+		if errors.Is(err, ErrNotFound) && replicaFallbackAllowed(r) &&
+			s.replicaCost(w, r, r.PathValue("id"), req.Placement) {
+			return
+		}
 		writeError(w, err)
 		return
 	}

@@ -123,6 +123,25 @@ type Config struct {
 	// 0 selects DefaultPeerTimeout. Probes are best-effort: a slow or
 	// dead peer costs at most this long, never a failed solve.
 	PeerTimeout time.Duration
+	// SuccessorURL is the replica that holds read-only snapshots of this
+	// replica's instances for degraded failover reads: every accepted
+	// upload is pushed to it (PUT /v1/replica/instances/{id}, re-verified
+	// by content hash on arrival). Empty disables replication;
+	// cmd/netplaced derives it automatically as the next cluster member
+	// in sorted order. See docs/cluster.md "Failure modes & membership".
+	SuccessorURL string
+	// ProbeInterval is the period of the background /readyz prober that
+	// feeds the per-peer circuit breakers. 0 selects DefaultProbeInterval;
+	// negative disables active probing (breakers then open only on
+	// passive request failures). Only meaningful with Peers set.
+	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker. 0 selects DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerBackoff is the initial open interval before a breaker admits
+	// a reopen probe; failed probes double it up to
+	// DefaultBreakerMaxBackoff. 0 selects DefaultBreakerBackoff.
+	BreakerBackoff time.Duration
 }
 
 // Defaults applied by New for zero Config fields.
@@ -166,6 +185,15 @@ func (c Config) withDefaults() Config {
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = DefaultPeerTimeout
 	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = DefaultBreakerBackoff
+	}
 	return c
 }
 
@@ -208,6 +236,11 @@ type counters struct {
 	peerProbes atomic.Int64 // cache probes this replica sent to peers
 	peerHits   atomic.Int64 // probes that found a peer's cached result
 	peerServed atomic.Int64 // probes from peers this replica answered with a result
+
+	peerProbeInflight atomic.Int64 // cache probes to peers in flight right now
+	failoverReads     atomic.Int64 // degraded reads served from the replica snapshot store
+	replicaPushes     atomic.Int64 // instance snapshots pushed to the successor
+	replicaPushErrors atomic.Int64 // failed successor pushes (best-effort, logged)
 
 	sheds           atomic.Int64 // solves rejected by admission control (429)
 	staleReads      atomic.Int64 // degraded stale placements served under overload
@@ -329,7 +362,7 @@ type Stats struct {
 	RetriesObserved int64 `json:"retries_observed"`
 	DeadlineRejects int64 `json:"deadline_rejects"`
 	DedupedBatches  int64 `json:"deduped_batches"`
-	// Peers is the configured peer count and PeerCache whether the
+	// Peers is the live peer count (drained members drop out) and PeerCache whether the
 	// cluster-wide solve-cache probe is enabled. PeerProbes / PeerHits
 	// count cache probes this replica SENT to peers (and how many found a
 	// result there); PeerServed counts probes FROM peers this replica
@@ -342,6 +375,23 @@ type Stats struct {
 	PeerProbes int64 `json:"peer_probes"`
 	PeerHits   int64 `json:"peer_hits"`
 	PeerServed int64 `json:"peer_served"`
+	// PeerProbeInflight is the number of peer cache probes in flight
+	// right now (the probe fan-out is parallel with bounded concurrency).
+	PeerProbeInflight int64 `json:"peer_probe_inflight"`
+	// PeerHealth maps each peer URL to its circuit breaker state
+	// (closed / open / half-open); BreakerOpens counts every breaker
+	// open transition since startup. Absent when the replica has no
+	// peers. See docs/cluster.md "Failure modes & membership".
+	PeerHealth   map[string]string `json:"peer_health,omitempty"`
+	BreakerOpens int64             `json:"breaker_opens"`
+	// ReplicaInstances counts read-only instance snapshots held for
+	// other replicas' keys; FailoverReads counts degraded reads answered
+	// from them; ReplicaPushes / ReplicaPushErrors count snapshot pushes
+	// to this replica's successor (and how many failed).
+	ReplicaInstances  int   `json:"replica_instances"`
+	FailoverReads     int64 `json:"failover_reads"`
+	ReplicaPushes     int64 `json:"replica_pushes"`
+	ReplicaPushErrors int64 `json:"replica_push_errors"`
 }
 
 // ClusterStats is the cluster-wide /statz view (GET /statz?cluster=1):
